@@ -1,0 +1,142 @@
+// E9 — Lemmas 3-5: the diffusion core of the Revocable LE algorithm.
+//
+//  (a) convergence: max relative error to the average vs rounds; the
+//      measured round count to reach γ-accuracy vs Lemma 4's bound
+//      (2/φ²)·log(n/γ) with φ = i(G)/D;
+//  (b) threshold separation (Lemma 5): with ≥1 white node and
+//      k^{1+ε} ≥ 2n+1, every potential ends below τ(k);
+//  (c) exact dyadic vs double potentials: value agreement and the bit
+//      cost of exactness (the ω(log n)-bit payloads the paper transmits
+//      bit by bit).
+#include "bench/common.h"
+
+#include <cmath>
+
+#include "core/diffusion.h"
+#include "core/params.h"
+#include "graph/properties.h"
+
+using namespace anole;
+using namespace anole::bench;
+
+namespace {
+
+struct diff_outcome {
+    double max_rel_err = 0;
+    double max_potential = 0;
+    std::uint64_t bits = 0;
+    std::uint64_t congest_rounds = 0;
+};
+
+diff_outcome run_diff(const graph& g, bool exact, std::size_t log2_d,
+                      std::uint64_t rounds, double black_fraction,
+                      std::uint64_t seed) {
+    engine<diffusion_node> eng(g, seed, congest_budget::fragmenting(16));
+    xoshiro256ss color(derive_seed(seed, 0, 0xD1FF));
+    std::size_t blacks = 0;
+    eng.spawn([&](std::size_t u) {
+        const bool black = color.bernoulli(black_fraction);
+        blacks += black ? 1 : 0;
+        return diffusion_node(g.degree(static_cast<node_id>(u)), black ? 1.0 : 0.0,
+                              exact, log2_d, rounds);
+    });
+    eng.run_until_halted(rounds + 2);
+    const double avg =
+        static_cast<double>(blacks) / static_cast<double>(g.num_nodes());
+    diff_outcome out;
+    for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+        const double v = eng.node(u).potential();
+        out.max_potential = std::max(out.max_potential, v);
+        if (avg > 0) {
+            out.max_rel_err = std::max(out.max_rel_err, std::abs(v - avg) / avg);
+        }
+    }
+    out.bits = eng.metrics().total().bits;
+    out.congest_rounds = eng.metrics().total().congest_rounds;
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const options opt = options::parse(argc, argv);
+    profile_cache profiles;
+
+    // (a) convergence vs Lemma 4's bound.
+    {
+        text_table t({"graph", "i(G)", "D", "lemma4 rounds", "rel err @ bound",
+                      "rel err @ bound/4"});
+        std::vector<graph> graphs;
+        graphs.push_back(make_cycle(16));
+        graphs.push_back(make_complete(16));
+        if (!opt.quick) {
+            graphs.push_back(make_torus(6, 6));
+            graphs.push_back(make_star(16));
+        }
+        const double gamma = 0.05;
+        for (const graph& g : graphs) {
+            const double iso = g.num_nodes() <= 20
+                                   ? isoperimetric_exact(g)
+                                   : profiles.get(g).isoperimetric;
+            const std::size_t log2_d = 6;  // D = 64 >= 2*deg everywhere here
+            const double phi = iso / 64.0;
+            const auto bound = static_cast<std::uint64_t>(std::ceil(
+                2.0 / (phi * phi) *
+                std::log(static_cast<double>(g.num_nodes()) / gamma)));
+            const auto full = run_diff(g, false, log2_d, bound, 0.5, 42);
+            const auto quarter = run_diff(g, false, log2_d, bound / 4, 0.5, 42);
+            t.add_row({g.name(), fmt_fixed(iso, 3), "64", fmt_count(bound),
+                       fmt_fixed(full.max_rel_err, 4),
+                       fmt_fixed(quarter.max_rel_err, 4)});
+        }
+        emit(t, opt, "E9a: Lemma 4 round bound vs measured convergence (gamma=0.05)");
+    }
+
+    // (b) Lemma 5 threshold separation.
+    {
+        text_table t({"n", "k", "K=k^2", "tau(k)", "max potential", "below tau"});
+        revocable_params rp;  // ε = 1
+        for (std::size_t n : {4u, 8u, 12u}) {
+            graph g = make_cycle(std::max<std::size_t>(n, 3));
+            // smallest k with k^2 >= 2n+1:
+            std::uint64_t k = 2;
+            while (k * k < 2 * g.num_nodes() + 1) k *= 2;
+            const auto tau = rp.tau(k);
+            const double tau_v = static_cast<double>(tau.num) /
+                                 static_cast<double>(tau.den);
+            const std::size_t log2_d = rp.share_denominator_log2(k);
+            const auto r = rp.diffusion_rounds(k);  // blind-mode bound
+            // Force >= 1 white: black fraction < 1.
+            const auto out =
+                run_diff(g, false, log2_d, std::min<std::uint64_t>(r, 200'000),
+                         0.75, 7);
+            t.add_row({std::to_string(g.num_nodes()), std::to_string(k),
+                       std::to_string(k * k), fmt_fixed(tau_v, 4),
+                       fmt_fixed(out.max_potential, 4),
+                       out.max_potential <= tau_v ? "yes" : "NO"});
+        }
+        emit(t, opt, "E9b: Lemma 5 — potentials end below tau once k^2 >= 2n+1");
+    }
+
+    // (c) exact vs approx ablation.
+    {
+        text_table t({"rounds", "exact bits", "approx bits(charged)",
+                      "exact congest rounds", "value agreement"});
+        graph g = make_cycle(8);
+        for (std::uint64_t rounds : {8u, 16u, 32u, 64u}) {
+            const auto ex = run_diff(g, true, 5, rounds, 0.5, 9);
+            const auto ap = run_diff(g, false, 5, rounds, 0.5, 9);
+            t.add_row({std::to_string(rounds), fmt_count(ex.bits),
+                       fmt_count(ap.bits), fmt_count(ex.congest_rounds),
+                       fmt_fixed(std::abs(ex.max_potential - ap.max_potential), 9)});
+        }
+        emit(t, opt, "E9c: exact dyadic vs double potentials (bit cost of exactness)");
+    }
+
+    std::printf("\nShape checks: error at Lemma 4's bound << gamma and error"
+                "\nat bound/4 visibly larger; every Lemma 5 row says 'yes';"
+                "\nexact bits grow quadratically with rounds (mantissa growth"
+                "\n~log2(D)/round), matching the paper's i*log(2k^(1+e))"
+                "\nper-iteration charge.\n");
+    return 0;
+}

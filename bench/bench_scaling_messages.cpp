@@ -1,0 +1,87 @@
+// E2 — Theorem 1's message-complexity claim, as a scaling series.
+//
+// Measures messages vs n for our irrevocable protocol and the
+// Gilbert-style baseline on families spanning the (Φ, tmix) landscape,
+// fits empirical log-log exponents, and prints the per-n improvement
+// factor. Claimed shape: ours = Õ(√(n·tmix/Φ)) vs theirs =
+// Õ(tmix·√n), i.e. an improvement factor Õ(√(tmix·Φ)) ≥ 1, growing when
+// tmix = ω(1/Φ).
+#include "bench/common.h"
+
+#include <cmath>
+
+#include "baseline/gilbert_le.h"
+#include "core/irrevocable.h"
+
+using namespace anole;
+using namespace anole::bench;
+
+int main(int argc, char** argv) {
+    const options opt = options::parse(argc, argv);
+    const std::size_t seeds = opt.seeds_or(3);
+    profile_cache profiles;
+
+    struct series {
+        graph_family family;
+        std::vector<std::size_t> sizes;
+    };
+    std::vector<series> plan;
+    if (opt.quick) {
+        plan.push_back({graph_family::random_regular, {64, 128, 256}});
+    } else {
+        plan.push_back({graph_family::random_regular, {64, 128, 256, 512, 1024}});
+        plan.push_back({graph_family::hypercube, {64, 128, 256, 512, 1024}});
+        plan.push_back({graph_family::torus, {64, 144, 256, 400}});
+    }
+
+    text_table t({"family", "n", "tmix", "phi", "ours(msgs)", "gilbert(msgs)",
+                  "improvement", "sqrt(tmix*phi)", "ours ok", "gb ok"});
+
+    for (const auto& [fam, sizes] : plan) {
+        std::vector<double> xs, ours_yc, gb_yc;
+        for (std::size_t n : sizes) {
+            graph g = make_family(fam, n, 1);
+            const auto& prof = profiles.get(g);
+
+            irrevocable_params ip;
+            ip.n = prof.n;
+            ip.tmix = std::max<std::uint64_t>(prof.mixing_time, 1);
+            ip.phi = prof.conductance;
+            gilbert_params gp;
+            gp.n = prof.n;
+            gp.tmix = ip.tmix;
+
+            sample_stats om, gm;
+            int ook = 0, gok = 0;
+            for (std::size_t s = 0; s < seeds; ++s) {
+                const auto ir = run_irrevocable(g, ip, 500 + s);
+                om.add(static_cast<double>(ir.totals.messages));
+                ook += ir.success;
+                const auto gr = run_gilbert(g, gp, 600 + s);
+                gm.add(static_cast<double>(gr.totals.messages));
+                gok += gr.success;
+            }
+            const double factor = gm.mean() / om.mean();
+            const double theory =
+                std::sqrt(static_cast<double>(ip.tmix) * ip.phi);
+            t.add_row({to_string(fam), std::to_string(prof.n),
+                       std::to_string(prof.mixing_time),
+                       fmt_fixed(prof.conductance, 4), fmt_mean_sd(om),
+                       fmt_mean_sd(gm), fmt_ratio(factor), fmt_fixed(theory, 2),
+                       std::to_string(ook) + "/" + std::to_string(seeds),
+                       std::to_string(gok) + "/" + std::to_string(seeds)});
+            xs.push_back(static_cast<double>(prof.n));
+            ours_yc.push_back(om.mean());
+            gb_yc.push_back(gm.mean());
+        }
+        if (xs.size() >= 3) {
+            std::printf("[%s] empirical exponents: ours n^%.2f, gilbert n^%.2f"
+                        " (claims: ~0.5 + tmix growth for both; gap = sqrt(tmix*phi))\n",
+                        to_string(fam), loglog_slope(xs, ours_yc),
+                        loglog_slope(xs, gb_yc));
+        }
+    }
+
+    emit(t, opt, "E2: messages vs n — ours vs Gilbert-style (Theorem 1)");
+    return 0;
+}

@@ -1,0 +1,83 @@
+// E8 — Lemma 2: x = Θ̃(√(n·log n/(Φ·tmix))) walks suffice for the
+// maximum-ID candidate to hit every territory whp.
+//
+// Sweeps the walk multiplier x_mult around 1.0 and reports the election
+// success rate and the rate of "max candidate not heard by some
+// candidate" failures. Claimed shape: a sharp transition — under-
+// provisioned walks miss territories, the paper's x saturates success.
+#include "bench/common.h"
+
+#include "core/irrevocable.h"
+
+using namespace anole;
+using namespace anole::bench;
+
+int main(int argc, char** argv) {
+    const options opt = options::parse(argc, argv);
+    const std::size_t seeds = opt.seeds_or(8);
+    profile_cache profiles;
+
+    std::vector<graph> graphs;
+    graphs.push_back(opt.quick ? make_torus(10, 10) : make_torus(16, 16));
+    if (!opt.full && !opt.quick) graphs.push_back(make_random_regular(256, 4, 1));
+    if (opt.full) {
+        graphs.push_back(make_random_regular(512, 4, 1));
+        graphs.push_back(make_hypercube(8));
+    }
+
+    text_table t({"graph", "regime", "x_mult", "x(walks)", "unique leader",
+                  "multi leader", "no leader"});
+
+    // Two regimes: the paper's own candidate density (overlapping
+    // territories cover for missing walks at these scales — the bench's
+    // first finding is the provisioning's safety margin), and a stressed
+    // regime (sparse candidates, stunted walks) where territories are
+    // disjoint and Lemma 2's transition becomes visible.
+    struct regime {
+        const char* name;
+        double cand_c;
+        double len_mult;
+    };
+    const std::vector<regime> regimes = {{"paper", 1.0, 1.0},
+                                         {"stressed", 0.5, 0.05}};
+
+    for (const graph& g : graphs) {
+        const auto& prof = profiles.get(g);
+        for (const auto& [rname, cand_c, len_mult] : regimes) {
+            for (double mult : {0.05, 0.25, 1.0, 2.0}) {
+                irrevocable_params p;
+                p.n = prof.n;
+                p.tmix = std::max<std::uint64_t>(prof.mixing_time, 1);
+                p.phi = prof.conductance;
+                p.x_mult = mult;
+                p.cand_c = cand_c;
+                p.walk_len_mult = len_mult;
+                std::size_t unique = 0, multi = 0, none = 0;
+                for (std::size_t s = 0; s < seeds; ++s) {
+                    const auto r = run_irrevocable(g, p, 1500 + s);
+                    if (r.num_leaders == 1) {
+                        ++unique;
+                    } else if (r.num_leaders > 1) {
+                        ++multi;
+                    } else {
+                        ++none;
+                    }
+                }
+                t.add_row({g.name(), rname, fmt_fixed(mult, 2),
+                           std::to_string(p.x()),
+                           std::to_string(unique) + "/" + std::to_string(seeds),
+                           std::to_string(multi) + "/" + std::to_string(seeds),
+                           std::to_string(none) + "/" + std::to_string(seeds)});
+            }
+        }
+    }
+
+    emit(t, opt, "E8: walk provisioning vs election outcome (Lemma 2)");
+    std::printf("\nShape checks: in the paper regime even tiny x succeeds —"
+                "\noverlapping territories plus the convergecast give a large"
+                "\nsafety margin at these scales. In the stressed regime"
+                "\n(sparse candidates, stunted walks, disjoint territories)"
+                "\nmulti-leader failures appear at small x_mult and recede as"
+                "\nx grows — Lemma 2's transition.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+// anole bench — shared harness helpers.
+//
+// Every bench binary is standalone: `./bench_x` runs the experiment with
+// defaults and prints paper-style tables; flags:
+//   --quick      smaller sweep (CI)
+//   --full       larger sweep (takes minutes)
+//   --csv        append machine-readable CSV after each table
+//   --seeds N    repetitions per configuration (default 3-5 per bench)
+//
+// Results are deterministic in the seed set. EXPERIMENTS.md records the
+// default-mode outputs.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/spectral.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace anole::bench {
+
+struct options {
+    bool quick = false;
+    bool full = false;
+    bool csv = false;
+    std::size_t seeds = 0;  // 0 = bench default
+
+    static options parse(int argc, char** argv) {
+        options o;
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a == "--quick") {
+                o.quick = true;
+            } else if (a == "--full") {
+                o.full = true;
+            } else if (a == "--csv") {
+                o.csv = true;
+            } else if (a == "--seeds" && i + 1 < argc) {
+                o.seeds = static_cast<std::size_t>(std::stoul(argv[++i]));
+            } else if (a == "--help" || a == "-h") {
+                std::printf(
+                    "flags: --quick | --full | --csv | --seeds N\n");
+                std::exit(0);
+            }
+        }
+        return o;
+    }
+
+    [[nodiscard]] std::size_t seeds_or(std::size_t dflt) const {
+        return seeds == 0 ? dflt : seeds;
+    }
+};
+
+// Profiles are expensive (spectral + mixing simulation); cache per graph
+// name within a binary run.
+class profile_cache {
+public:
+    const graph_profile& get(const graph& g) {
+        auto it = cache_.find(g.name());
+        if (it == cache_.end()) {
+            it = cache_.emplace(g.name(), profile(g, 1)).first;
+        }
+        return it->second;
+    }
+
+private:
+    std::map<std::string, graph_profile> cache_;
+};
+
+inline void emit(const text_table& t, const options& opt, const std::string& title) {
+    std::cout << "\n== " << title << " ==\n";
+    t.print(std::cout);
+    if (opt.csv) {
+        std::cout << "-- csv --\n";
+        t.print_csv(std::cout);
+    }
+    std::cout.flush();
+}
+
+inline std::string fmt_mean_sd(const sample_stats& s) {
+    if (s.count() < 2) return fmt_count(static_cast<std::uint64_t>(s.mean()));
+    return fmt_count(static_cast<std::uint64_t>(s.mean())) + " ±" +
+           fmt_count(static_cast<std::uint64_t>(s.stddev()));
+}
+
+}  // namespace anole::bench

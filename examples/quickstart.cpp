@@ -1,0 +1,51 @@
+// quickstart — elect a leader on an anonymous network in ~30 lines.
+//
+//   $ ./quickstart [n] [seed]
+//
+// Builds a random 4-regular network of n anonymous nodes (no IDs, only
+// local port numbers), measures the topology parameters the protocol
+// needs (mixing time, conductance), runs the paper's Irrevocable Leader
+// Election (Kowalski & Mosteiro, ICDCS 2021), and prints the outcome and
+// the exact CONGEST cost.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/irrevocable.h"
+#include "graph/generators.h"
+#include "graph/spectral.h"
+
+int main(int argc, char** argv) {
+    const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 256;
+    const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+    // 1. A topology: any connected graph works; nodes are anonymous.
+    const anole::graph g = anole::make_random_regular(n, 4, seed);
+
+    // 2. The protocol needs (upper bounds on) the mixing time and the
+    //    conductance; profile() estimates both.
+    const anole::graph_profile prof = anole::profile(g, seed);
+
+    // 3. Configure and run Irrevocable Leader Election.
+    anole::irrevocable_params params;
+    params.n = g.num_nodes();
+    params.tmix = prof.mixing_time;
+    params.phi = prof.conductance;
+    const anole::irrevocable_result r = anole::run_irrevocable(g, params, seed);
+
+    std::printf("network: %s | tmix=%llu phi=%.4f diameter=%u\n",
+                g.name().c_str(),
+                static_cast<unsigned long long>(prof.mixing_time),
+                prof.conductance, prof.diameter);
+    std::printf("candidates: %zu, leaders elected: %zu%s\n", r.num_candidates,
+                r.num_leaders,
+                r.success ? (r.max_candidate_won ? "  (max-ID candidate won)" : "")
+                          : "  (ELECTION FAILED — rerun with another seed)");
+    std::printf("cost: %llu rounds, %llu messages, %llu bits"
+                " (%.1f bits/message — CONGEST-sized)\n",
+                static_cast<unsigned long long>(r.rounds),
+                static_cast<unsigned long long>(r.totals.messages),
+                static_cast<unsigned long long>(r.totals.bits),
+                static_cast<double>(r.totals.bits) /
+                    static_cast<double>(r.totals.messages));
+    return r.success ? 0 : 1;
+}

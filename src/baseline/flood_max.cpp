@@ -1,0 +1,32 @@
+#include "baseline/flood_max.h"
+
+namespace anole {
+
+flood_result run_flood_max(const graph& g, std::uint64_t diameter, std::uint64_t seed,
+                           congest_budget budget) {
+    const std::size_t n = g.num_nodes();
+    require(n >= 2 && n < (std::size_t{1} << 15), "run_flood_max: 2 <= n < 2^15");
+    const auto nn = static_cast<std::uint64_t>(n);
+    const std::uint64_t id_space = nn * nn * nn * nn;
+
+    engine<flood_max_node> eng(g, seed, budget);
+    eng.spawn([&](std::size_t u) {
+        return flood_max_node(g.degree(static_cast<node_id>(u)), id_space, diameter + 1);
+    });
+    eng.set_phase("flood");
+    eng.run_until_halted(diameter + 3);
+
+    flood_result res;
+    res.rounds = eng.round();
+    res.totals = eng.metrics().total();
+    for (std::size_t u = 0; u < n; ++u) {
+        if (eng.node(u).is_leader()) {
+            ++res.num_leaders;
+            res.leader_id = eng.node(u).id();
+        }
+    }
+    res.success = res.num_leaders == 1;
+    return res;
+}
+
+}  // namespace anole

@@ -1,0 +1,140 @@
+// anole — post-election services: explicit leader election, leader
+// broadcast, and BFS spanning-tree construction.
+//
+// The paper's related-work section notes that the implicit-election
+// results "are extended to other problems, such as Broadcast, tree
+// construction and explicit Leader Election, once a leader has been
+// elected" (§3). This module provides exactly those extensions on top of
+// either election protocol, still anonymous and CONGEST-conformant:
+//
+//   * leader announcement — the (unique) flag holder floods its random ID
+//     for diameter-many rounds; afterwards every node knows the leader's
+//     ID, upgrading implicit election to *explicit* election at O(m·1)
+//     extra messages per improvement wave and O(D) extra time;
+//   * BFS tree — the announcement wave doubles as tree construction: the
+//     port of first arrival is the parent pointer, children acks build
+//     the child lists, yielding a breadth-first spanning tree rooted at
+//     the leader (the substrate for the leader's later coordination
+//     work — aggregation, scheduling, resource allocation, per §1).
+//
+// run_explicit_irrevocable() composes Theorem 1's protocol with the
+// announcement and returns both the election and tree statistics; tests
+// verify the tree is a well-formed BFS tree (parent depth = own depth−1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/irrevocable.h"
+#include "graph/graph.h"
+#include "sim/engine.h"
+#include "util/bit_codec.h"
+
+namespace anole {
+
+struct announce_msg {
+    std::uint64_t leader_id = 0;
+    std::uint32_t depth = 0;  // BFS depth of the sender
+    bool ack = false;         // child -> parent adoption ack
+
+    [[nodiscard]] std::size_t bit_size() const noexcept {
+        return 1 + gamma0_bits(leader_id) + gamma0_bits(depth);
+    }
+};
+
+// Announcement + BFS-tree protocol. Exactly one node is constructed as
+// the root (the election winner). Runs `rounds` >= diameter + 2 rounds.
+class announce_node {
+public:
+    using message_type = announce_msg;
+
+    announce_node(std::size_t degree, bool is_root, std::uint64_t leader_id,
+                  std::uint64_t rounds)
+        : degree_(degree), rounds_(rounds) {
+        if (is_root) {
+            leader_id_ = leader_id;
+            depth_ = 0;
+        }
+    }
+
+    void on_round(node_ctx<announce_msg>& ctx, inbox_view<announce_msg> inbox) {
+        for (const auto& [port, msg] : inbox) {
+            if (msg.ack) {
+                children_.push_back(port);
+            } else if (!joined() && msg.leader_id != 0) {
+                leader_id_ = msg.leader_id;
+                depth_ = msg.depth + 1;
+                parent_ = port;
+                ack_pending_ = true;
+            }
+        }
+        if (ctx.round() >= rounds_) {
+            ctx.halt();
+            return;
+        }
+        if (joined() && !announced_) {
+            announced_ = true;
+            for (port_id p = 0; p < degree_; ++p) {
+                if (parent_ && *parent_ == p) continue;  // ack goes there
+                ctx.send(p, announce_msg{leader_id_, depth_, false});
+            }
+        }
+        if (ack_pending_) {
+            ack_pending_ = false;
+            ctx.send(*parent_, announce_msg{leader_id_, depth_, true});
+        }
+    }
+
+    [[nodiscard]] bool joined() const noexcept { return leader_id_ != 0; }
+    [[nodiscard]] std::uint64_t known_leader() const noexcept { return leader_id_; }
+    [[nodiscard]] std::uint32_t depth() const noexcept { return depth_; }
+    [[nodiscard]] std::optional<port_id> parent() const noexcept { return parent_; }
+    [[nodiscard]] const std::vector<port_id>& children() const noexcept {
+        return children_;
+    }
+
+private:
+    std::size_t degree_;
+    std::uint64_t rounds_;
+    std::uint64_t leader_id_ = 0;
+    std::uint32_t depth_ = 0;
+    std::optional<port_id> parent_;
+    std::vector<port_id> children_;
+    bool announced_ = false;
+    bool ack_pending_ = false;
+};
+
+// --- drivers -----------------------------------------------------------------
+
+struct announce_result {
+    bool all_know_leader = false;
+    std::uint64_t leader_id = 0;
+    std::uint32_t tree_depth = 0;     // max BFS depth (== ecc of the root)
+    bool bfs_tree_valid = false;      // every non-root: depth == parent+1
+    std::uint64_t rounds = 0;
+    phase_counters totals;
+    std::vector<std::uint32_t> depths;  // per node
+};
+
+// Floods the leader's ID from `root`; `diameter` bounds the wave.
+[[nodiscard]] announce_result run_announce(const graph& g, node_id root,
+                                           std::uint64_t leader_id,
+                                           std::uint64_t diameter,
+                                           std::uint64_t seed);
+
+struct explicit_result {
+    irrevocable_result election;
+    announce_result announcement;
+    // Explicit LE succeeded: unique flag AND everyone knows the same ID.
+    bool success = false;
+};
+
+// Theorem 1's protocol + the §3 extension: implicit election upgraded to
+// explicit, with the BFS coordination tree as a byproduct.
+[[nodiscard]] explicit_result run_explicit_irrevocable(const graph& g,
+                                                       const irrevocable_params& params,
+                                                       std::uint64_t diameter,
+                                                       std::uint64_t seed);
+
+}  // namespace anole

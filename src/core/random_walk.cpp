@@ -1,0 +1,27 @@
+#include "core/random_walk.h"
+
+namespace anole {
+
+walk_ensemble_result run_walk_ensemble(const graph& g, node_id source,
+                                       std::uint64_t tokens, std::uint64_t rounds,
+                                       std::uint64_t seed) {
+    require(source < g.num_nodes(), "run_walk_ensemble: source out of range");
+    engine<walk_ensemble_node> eng(g, seed, congest_budget::strict_log(16));
+    eng.spawn([&](std::size_t u) {
+        return walk_ensemble_node(g.degree(static_cast<node_id>(u)),
+                                  u == source ? tokens : 0, rounds);
+    });
+    eng.run_until_halted(rounds + 2);
+
+    walk_ensemble_result res;
+    res.totals = eng.metrics().total();
+    res.resident.reserve(g.num_nodes());
+    for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+        const std::uint64_t r = eng.node(u).resident();
+        res.resident.push_back(r);
+        res.total_tokens += r;
+    }
+    return res;
+}
+
+}  // namespace anole

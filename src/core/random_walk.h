@@ -1,0 +1,94 @@
+// anole — standalone lazy random-walk token ensembles.
+//
+// The walk primitive of Algorithm 5, factored out as its own protocol:
+// a set of source nodes each launch `tokens` lazy walk tokens (stay with
+// probability 1/2, else uniform random neighbor); tokens traversing a
+// link in the same round are batched into one ⟨count⟩ message (CONGEST).
+// Unlike the full protocol's walks, these carry no IDs — the ensemble is
+// used to validate the *mixing* behaviour the analysis relies on:
+// after tmix steps, token positions sample the stationary distribution
+// d_v/2m (tests/core/random_walk_test.cpp correlates the empirical
+// histogram against graph/spectral.h's prediction), and hitting
+// experiments (E8) measure territory discovery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/engine.h"
+#include "util/bit_codec.h"
+
+namespace anole {
+
+struct walk_msg {
+    std::uint64_t count = 0;
+    [[nodiscard]] std::size_t bit_size() const noexcept {
+        return gamma0_bits(count);
+    }
+};
+
+class walk_ensemble_node {
+public:
+    using message_type = walk_msg;
+
+    // `tokens` start here at round 0; the ensemble runs `rounds` steps.
+    walk_ensemble_node(std::size_t degree, std::uint64_t tokens, std::uint64_t rounds)
+        : degree_(degree), resident_(tokens), rounds_(rounds) {}
+
+    void on_round(node_ctx<walk_msg>& ctx, inbox_view<walk_msg> inbox) {
+        for (const auto& [port, msg] : inbox) {
+            (void)port;
+            resident_ += msg.count;
+            visits_ += msg.count;
+        }
+        if (ctx.round() >= rounds_) {
+            ctx.halt();
+            return;
+        }
+        if (resident_ == 0) return;
+        if (out_.size() != degree_) out_.assign(degree_, 0);
+        touched_.clear();
+        std::uint64_t staying = 0;
+        for (std::uint64_t t = 0; t < resident_; ++t) {
+            if (ctx.rng().bit()) {
+                const auto p = static_cast<port_id>(ctx.rng().below(degree_));
+                if (out_[p]++ == 0) touched_.push_back(p);
+            } else {
+                ++staying;
+            }
+        }
+        resident_ = staying;
+        for (port_id p : touched_) {
+            ctx.send(p, walk_msg{out_[p]});
+            out_[p] = 0;
+        }
+    }
+
+    // Tokens currently parked at this node.
+    [[nodiscard]] std::uint64_t resident() const noexcept { return resident_; }
+    // Total token arrivals over the run (excluding the initial placement).
+    [[nodiscard]] std::uint64_t visits() const noexcept { return visits_; }
+
+private:
+    std::size_t degree_;
+    std::uint64_t resident_;
+    std::uint64_t rounds_;
+    std::uint64_t visits_ = 0;
+    std::vector<std::uint64_t> out_;
+    std::vector<port_id> touched_;
+};
+
+struct walk_ensemble_result {
+    std::vector<std::uint64_t> resident;  // tokens per node at the end
+    std::uint64_t total_tokens = 0;
+    phase_counters totals;
+};
+
+// Launches `tokens` walks from node `source` for `rounds` lazy steps.
+[[nodiscard]] walk_ensemble_result run_walk_ensemble(const graph& g, node_id source,
+                                                     std::uint64_t tokens,
+                                                     std::uint64_t rounds,
+                                                     std::uint64_t seed);
+
+}  // namespace anole

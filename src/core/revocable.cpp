@@ -1,0 +1,304 @@
+#include "core/revocable.h"
+
+#include <algorithm>
+
+namespace anole {
+
+void revocable_node::on_round(node_ctx<rev_msg>& ctx, inbox_view<rev_msg> inbox) {
+    if (!started_) {
+        started_ = true;
+        start_estimate(ctx);
+        start_iteration(ctx);
+        broadcast(ctx, /*with_potential=*/true);
+        round_in_phase_ = 1;
+        return;
+    }
+
+    if (phase_ == phase::diffuse) {
+        apply_exchange(inbox, /*diffusion_update=*/true);
+        if (round_in_phase_ < r_k_) {
+            broadcast(ctx, /*with_potential=*/true);
+            ++round_in_phase_;
+        } else {
+            // Final diffusion exchange applied: threshold alarm
+            // (Algorithm 7 line 13), then the dissemination phase opens.
+            if (!q_low_ && potential_above_tau()) {
+                q_low_ = true;
+                pot_d_ = 1.0;
+                pot_x_ = dyadic::one();
+            }
+            phase_ = phase::disseminate;
+            round_in_phase_ = 1;
+            broadcast(ctx, /*with_potential=*/false);
+        }
+        return;
+    }
+
+    // Dissemination phase.
+    apply_exchange(inbox, /*diffusion_update=*/false);
+    if (round_in_phase_ < d_k_) {
+        broadcast(ctx, /*with_potential=*/false);
+        ++round_in_phase_;
+        return;
+    }
+
+    // Iteration complete (Algorithm 6 lines 12-13).
+    end_iteration();
+    if (iter_ < f_k_) {
+        start_iteration(ctx);
+        broadcast(ctx, /*with_potential=*/true);
+        round_in_phase_ = 1;
+        return;
+    }
+
+    // Estimate complete: decision phase (Algorithm 6 lines 14-17), then
+    // the next estimate begins immediately.
+    decide(ctx);
+    start_estimate(ctx);
+    start_iteration(ctx);
+    broadcast(ctx, /*with_potential=*/true);
+    round_in_phase_ = 1;
+}
+
+void revocable_node::start_estimate(node_ctx<rev_msg>& ctx) {
+    (void)ctx;
+    k_ *= 2;
+    f_k_ = p_->certification_iterations(k_);
+    r_k_ = p_->diffusion_rounds(k_);
+    d_k_ = p_->dissemination_rounds(k_);
+    share_d_ = p_->share_denominator(k_);
+    share_log2_ = p_->share_denominator_log2(k_);
+    iter_ = 0;
+    empty_count_ = 0;
+    probing_count_ = 0;
+}
+
+void revocable_node::start_iteration(node_ctx<rev_msg>& ctx) {
+    white_ = ctx.rng().bernoulli(p_->p_white(k_));
+    q_low_ = false;
+    c_white_ = white_;  // Algorithm 7 line 2
+    if (white_) {
+        pot_d_ = 0.0;
+        pot_x_ = dyadic::zero();
+    } else {
+        pot_d_ = 1.0;
+        pot_x_ = dyadic::one();
+    }
+    phase_ = phase::diffuse;
+    round_in_phase_ = 0;
+}
+
+void revocable_node::apply_exchange(inbox_view<rev_msg> inbox, bool diffusion_update) {
+    if (diffusion_update) {
+        // Algorithm 7 lines 7-9: probe only while nobody alarms.
+        bool all_probing = !q_low_ && degree_ <= p_->degree_bound(k_);
+        if (all_probing) {
+            for (const auto& [port, msg] : inbox) {
+                (void)port;
+                if (msg.q_low) {
+                    all_probing = false;
+                    break;
+                }
+            }
+        }
+        if (all_probing) {
+            if (p_->exact_potentials) {
+                std::vector<dyadic> in;
+                in.reserve(inbox.size());
+                for (const auto& [port, msg] : inbox) {
+                    (void)port;
+                    in.push_back(msg.pot_x);
+                }
+                pot_x_ = diffuse_exact(pot_x_, in, share_d_, share_log2_);
+            } else {
+                std::vector<double> in;
+                in.reserve(inbox.size());
+                for (const auto& [port, msg] : inbox) {
+                    (void)port;
+                    in.push_back(msg.pot_d);
+                }
+                pot_d_ = diffuse_approx(pot_d_, in, share_d_);
+            }
+        } else {
+            q_low_ = true;
+            pot_d_ = 1.0;
+            pot_x_ = dyadic::one();
+        }
+    } else {
+        // Dissemination (Algorithm 7 lines 16-18).
+        for (const auto& [port, msg] : inbox) {
+            (void)port;
+            if (msg.q_low) q_low_ = true;
+            if (msg.c_white) c_white_ = true;
+        }
+    }
+    // Leader-view updates run in both phases (lines 10-12 and 19-21).
+    for (const auto& [port, msg] : inbox) {
+        (void)port;
+        if (msg.idldr != 0) consider_leader(msg.idldr, msg.kldr);
+    }
+}
+
+void revocable_node::broadcast(node_ctx<rev_msg>& ctx, bool with_potential) {
+    rev_msg m;
+    m.has_potential = with_potential;
+    m.q_low = q_low_;
+    m.c_white = c_white_;
+    m.idldr = idldr_;
+    m.kldr = kldr_;
+    std::size_t bits = 2 + gamma0_bits(m.idldr) + gamma0_bits(m.kldr);
+    if (with_potential) {
+        if (p_->exact_potentials) {
+            m.pot_x = pot_x_;
+            bits += m.pot_x.wire_bits();
+        } else {
+            m.pot_d = pot_d_;
+            bits += charged_potential_bits(round_in_phase_ + 1, share_log2_);
+        }
+    }
+    m.charged = bits;
+    for (port_id p = 0; p < degree_; ++p) ctx.send(p, m);
+}
+
+void revocable_node::end_iteration() {
+    ++iter_;
+    if (!c_white_) ++empty_count_;    // empty[i] = ¬c
+    if (!q_low_) ++probing_count_;    // status[i] = q == probing
+}
+
+void revocable_node::decide(node_ctx<rev_msg>& ctx) {
+    auto& tr = traces_[k_];
+    tr.empty_iterations = empty_count_;
+    tr.probing_iterations = probing_count_;
+    tr.iterations = f_k_;
+    // Algorithm 6 line 14: strict majority of white-free iterations, and
+    // at least one probing iteration.
+    if (id_ == 0 && 2 * empty_count_ > f_k_ && probing_count_ > 0) {
+        id_ = ctx.rng().range(1, p_->id_range(k_));
+        cert_ = k_;
+        tr.chose_here = true;
+        consider_leader(id_, cert_);
+    }
+    leader_ = id_ != 0 && idldr_ == id_ && kldr_ == cert_;  // line 17
+}
+
+void revocable_node::consider_leader(std::uint64_t cand_id, std::uint64_t cand_k) {
+    const bool adopt =
+        idldr_ == 0 || cand_k > kldr_ || (cand_k == kldr_ && cand_id < idldr_);
+    if (!adopt) return;
+    if (idldr_ != 0 && (idldr_ != cand_id || kldr_ != cand_k)) ++revocations_;
+    idldr_ = cand_id;
+    kldr_ = cand_k;
+    leader_ = id_ != 0 && idldr_ == id_ && kldr_ == cert_;
+}
+
+bool revocable_node::potential_above_tau() const {
+    const auto tau = p_->tau(k_);
+    if (tau.num == 0) return !p_->exact_potentials ? pot_d_ > 0 : !pot_x_.is_zero();
+    if (!p_->exact_potentials) {
+        return pot_d_ > static_cast<double>(tau.num) / static_cast<double>(tau.den);
+    }
+    // pot > num/den  <=>  mant * den > num * 2^exp   (exact).
+    bigint lhs = pot_x_.mantissa();
+    lhs.mul_small(tau.den);
+    bigint rhs(tau.num);
+    rhs <<= pot_x_.exponent();
+    return lhs > rhs;
+}
+
+// ---------------------------------------------------------------------------
+
+revocable_result run_revocable(const graph& g, const revocable_params& params,
+                               std::uint64_t seed, std::uint64_t max_rounds,
+                               congest_budget budget) {
+    params.validate();
+
+    engine<revocable_node> eng(g, seed, budget);
+    eng.spawn([&](std::size_t u) {
+        return revocable_node(g.degree(static_cast<node_id>(u)), params);
+    });
+
+    const std::size_t n = eng.num_nodes();
+    auto views_consistent = [&]() -> bool {
+        const auto& first = eng.node(0);
+        if (first.id() == 0) return false;
+        const std::uint64_t vid = first.leader_id();
+        const std::uint64_t vk = first.leader_certificate();
+        if (vid == 0) return false;
+        for (std::size_t u = 1; u < n; ++u) {
+            const auto& nd = eng.node(u);
+            if (nd.id() == 0 || nd.leader_id() != vid || nd.leader_certificate() != vk) {
+                return false;
+            }
+        }
+        return true;
+    };
+    auto past_cap = [&]() -> bool {
+        if (params.k_cap == 0) return false;
+        for (std::size_t u = 0; u < n; ++u) {
+            if (eng.node(u).estimate() <= params.k_cap) return false;
+        }
+        return true;
+    };
+
+    revocable_result res;
+    bool reached = false;
+    try {
+        eng.run_until([&] { return views_consistent() || past_cap(); }, max_rounds);
+        reached = views_consistent();
+    } catch (const error&) {
+        reached = false;  // max_rounds exhausted: report what we have
+    }
+
+    res.stable_round = eng.round();
+    const std::uint64_t view_id = reached ? eng.node(0).leader_id() : 0;
+    const std::uint64_t view_k = reached ? eng.node(0).leader_certificate() : 0;
+
+    if (reached) {
+        // Revocability check: once every node has chosen an ID and all
+        // views agree, no undominated (ID, certificate) pair can still be
+        // in flight, so views are provably final; we nevertheless run a
+        // bounded verification window and assert they did not move. (A
+        // full extra estimate would be the airtight check, but its cost
+        // grows ~k^{4(2+ε)} in blind mode — the window is the documented
+        // substitution.)
+        const std::uint64_t extra =
+            std::min<std::uint64_t>(res.stable_round / 2 + 1000, 200'000);
+        eng.run_rounds(extra);
+    }
+
+    res.rounds = eng.round();
+    res.totals = eng.metrics().total();
+    res.congest_rounds = eng.metrics().total().congest_rounds;
+
+    std::uint64_t final_view_id = eng.node(0).leader_id();
+    std::uint64_t final_view_k = eng.node(0).leader_certificate();
+    bool all_same = true;
+    for (std::size_t u = 0; u < n; ++u) {
+        const auto& nd = eng.node(u);
+        if (nd.leader()) {
+            ++res.num_leaders;
+            res.leader_id = nd.id();
+            res.leader_certificate = nd.certificate();
+        }
+        if (nd.id() != 0) ++res.nodes_chose;
+        if (nd.leader_id() != final_view_id || nd.leader_certificate() != final_view_k) {
+            all_same = false;
+        }
+        res.total_revocations += nd.revocations();
+        res.final_estimate = std::max(res.final_estimate, nd.estimate());
+        for (const auto& [k, tr] : nd.traces()) {
+            auto& agg = res.traces[k];
+            agg.empty_iterations += tr.empty_iterations;
+            agg.probing_iterations += tr.probing_iterations;
+            agg.iterations += tr.iterations;
+            agg.chose_here = agg.chose_here || tr.chose_here;
+        }
+    }
+    res.success = reached && all_same && res.num_leaders == 1 &&
+                  res.nodes_chose == n && final_view_id == view_id &&
+                  final_view_k == view_k;
+    return res;
+}
+
+}  // namespace anole

@@ -1,0 +1,45 @@
+#include "graph/dot_export.h"
+
+#include <utility>
+
+namespace anole {
+
+void write_dot(std::ostream& os, const graph& g, const dot_style& style) {
+    os << "graph anole {\n";
+    if (!style.graph_attrs.empty()) os << "  " << style.graph_attrs << "\n";
+    os << "  node [shape=circle, fontsize=10];\n";
+    for (node_id u = 0; u < g.num_nodes(); ++u) {
+        os << "  n" << u;
+        const std::string label =
+            style.node_label ? style.node_label(u) : std::to_string(u);
+        os << " [label=\"" << label << "\"";
+        if (style.node_attrs) {
+            const std::string extra = style.node_attrs(u);
+            if (!extra.empty()) os << ", " << extra;
+        }
+        os << "];\n";
+    }
+    for (const auto& [u, v] : g.edge_list()) {
+        os << "  n" << u << " -- n" << v;
+        if (style.edge_attrs) {
+            const std::string extra = style.edge_attrs(u, v);
+            if (!extra.empty()) os << " [" << extra << "]";
+        }
+        os << ";\n";
+    }
+    os << "}\n";
+}
+
+dot_style highlight_style(std::vector<bool> in_set, std::optional<node_id> special) {
+    dot_style s;
+    s.node_attrs = [set = std::move(in_set), special](node_id u) -> std::string {
+        if (special && *special == u) {
+            return "fillcolor=gold, style=filled, penwidth=2";
+        }
+        if (u < set.size() && set[u]) return "fillcolor=lightblue, style=filled";
+        return "";
+    };
+    return s;
+}
+
+}  // namespace anole

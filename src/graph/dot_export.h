@@ -1,0 +1,38 @@
+// anole — Graphviz DOT export.
+//
+// Release-quality tooling: dump a topology, an election outcome, or a
+// broadcast territory as a .dot file for quick visual inspection
+// (`dot -Tsvg out.dot > out.svg`). Styling hooks are simple per-node /
+// per-edge label and attribute callbacks so examples and debugging
+// sessions can color leaders, candidates, territories or BFS depths
+// without this header knowing about protocols.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace anole {
+
+struct dot_style {
+    // Extra per-node attributes, e.g. "fillcolor=gold,style=filled".
+    // Empty string = defaults.
+    std::function<std::string(node_id)> node_attrs;
+    // Extra attributes for the edge u-v (u < v).
+    std::function<std::string(node_id, node_id)> edge_attrs;
+    // Node label; default = the engine-side index.
+    std::function<std::string(node_id)> node_label;
+    std::string graph_attrs = "layout=neato; overlap=false; splines=true;";
+};
+
+// Writes an undirected Graphviz representation of `g` to `os`.
+void write_dot(std::ostream& os, const graph& g, const dot_style& style = {});
+
+// Convenience: a style that highlights one set of nodes (e.g. a
+// territory) and one special node (e.g. the leader).
+[[nodiscard]] dot_style highlight_style(std::vector<bool> in_set,
+                                        std::optional<node_id> special);
+
+}  // namespace anole

@@ -1,0 +1,337 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/rng.h"
+
+namespace anole {
+
+namespace {
+using edge_list = std::vector<std::pair<node_id, node_id>>;
+
+node_id nid(std::size_t v) { return static_cast<node_id>(v); }
+}  // namespace
+
+graph make_path(std::size_t n) {
+    require(n >= 1, "make_path: n >= 1");
+    edge_list es;
+    es.reserve(n - 1);
+    for (std::size_t i = 0; i + 1 < n; ++i) es.emplace_back(nid(i), nid(i + 1));
+    graph g(n, es, "path(" + std::to_string(n) + ")");
+    graph_facts f;
+    f.diameter = n - 1;
+    g.set_facts(f);
+    return g;
+}
+
+graph make_cycle(std::size_t n) {
+    require(n >= 3, "make_cycle: n >= 3");
+    edge_list es;
+    es.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) es.emplace_back(nid(i), nid((i + 1) % n));
+    graph g(n, es, "cycle(" + std::to_string(n) + ")");
+    graph_facts f;
+    f.diameter = n / 2;
+    // Worst cut = contiguous half: |∂S| = 2, Vol(S) = 2⌊n/2⌋.
+    f.conductance = 2.0 / (2.0 * static_cast<double>(n / 2));
+    f.isoperimetric = 2.0 / static_cast<double>(n / 2);
+    // Lazy walk on C_n mixes in Θ(n²); n² is a safe linear-input upper bound.
+    f.mixing_time = static_cast<std::uint64_t>(n) * n;
+    g.set_facts(f);
+    return g;
+}
+
+graph make_complete(std::size_t n) {
+    require(n >= 2, "make_complete: n >= 2");
+    edge_list es;
+    es.reserve(n * (n - 1) / 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) es.emplace_back(nid(i), nid(j));
+    }
+    graph g(n, es, "complete(" + std::to_string(n) + ")");
+    graph_facts f;
+    f.diameter = 1;
+    // S of size s: |∂S| = s(n−s), Vol(S) = s(n−1) ⇒ ratio = (n−s)/(n−1),
+    // minimized at s = ⌊n/2⌋.
+    f.conductance =
+        static_cast<double>(n - n / 2) / static_cast<double>(n - 1);
+    f.isoperimetric = static_cast<double>(n - n / 2);
+    // Lazy walk on K_n is within 1/(2n) of uniform in O(log n) steps.
+    f.mixing_time = 2 * static_cast<std::uint64_t>(std::ceil(std::log2(2.0 * n * n))) + 2;
+    g.set_facts(f);
+    return g;
+}
+
+graph make_star(std::size_t n) {
+    require(n >= 2, "make_star: n >= 2");
+    edge_list es;
+    es.reserve(n - 1);
+    for (std::size_t i = 1; i < n; ++i) es.emplace_back(nid(0), nid(i));
+    graph g(n, es, "star(" + std::to_string(n) + ")");
+    graph_facts f;
+    f.diameter = n == 2 ? 1 : 2;
+    f.conductance = 1.0;   // every cut edge count equals the smaller volume
+    f.isoperimetric = 1.0; // S = set of leaves: |∂S|/|S| = 1
+    g.set_facts(f);
+    return g;
+}
+
+graph make_grid2d(std::size_t rows, std::size_t cols) {
+    require(rows >= 1 && cols >= 1, "make_grid2d: rows, cols >= 1");
+    auto at = [cols](std::size_t r, std::size_t c) { return nid(r * cols + c); };
+    edge_list es;
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (c + 1 < cols) es.emplace_back(at(r, c), at(r, c + 1));
+            if (r + 1 < rows) es.emplace_back(at(r, c), at(r + 1, c));
+        }
+    }
+    graph g(rows * cols, es,
+            "grid2d(" + std::to_string(rows) + "x" + std::to_string(cols) + ")");
+    graph_facts f;
+    f.diameter = (rows - 1) + (cols - 1);
+    g.set_facts(f);
+    return g;
+}
+
+graph make_torus(std::size_t rows, std::size_t cols) {
+    require(rows >= 3 && cols >= 3, "make_torus: rows, cols >= 3");
+    auto at = [cols](std::size_t r, std::size_t c) { return nid(r * cols + c); };
+    edge_list es;
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            es.emplace_back(at(r, c), at(r, (c + 1) % cols));
+            es.emplace_back(at(r, c), at((r + 1) % rows, c));
+        }
+    }
+    graph g(rows * cols, es,
+            "torus(" + std::to_string(rows) + "x" + std::to_string(cols) + ")");
+    graph_facts f;
+    f.diameter = rows / 2 + cols / 2;
+    g.set_facts(f);
+    return g;
+}
+
+graph make_hypercube(std::size_t dim) {
+    require(dim >= 1 && dim <= 24, "make_hypercube: 1 <= dim <= 24");
+    const std::size_t n = std::size_t{1} << dim;
+    edge_list es;
+    es.reserve(n * dim / 2);
+    for (std::size_t v = 0; v < n; ++v) {
+        for (std::size_t b = 0; b < dim; ++b) {
+            const std::size_t w = v ^ (std::size_t{1} << b);
+            if (v < w) es.emplace_back(nid(v), nid(w));
+        }
+    }
+    graph g(n, es, "hypercube(" + std::to_string(dim) + ")");
+    graph_facts f;
+    f.diameter = dim;
+    g.set_facts(f);
+    return g;
+}
+
+graph make_binary_tree(std::size_t n) {
+    require(n >= 1, "make_binary_tree: n >= 1");
+    edge_list es;
+    es.reserve(n - 1);
+    for (std::size_t i = 1; i < n; ++i) es.emplace_back(nid((i - 1) / 2), nid(i));
+    return graph(n, es, "binary_tree(" + std::to_string(n) + ")");
+}
+
+graph make_random_regular(std::size_t n, std::size_t d, std::uint64_t seed,
+                          std::size_t max_attempts) {
+    require(n >= 2 && d >= 1 && d < n, "make_random_regular: need 1 <= d < n >= 2");
+    require(n * d % 2 == 0, "make_random_regular: n*d must be even");
+    xoshiro256ss rng(derive_seed(seed, n, d));
+    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+        // Pairing (configuration) model: shuffle n*d stubs, pair them up.
+        std::vector<node_id> stubs(n * d);
+        for (std::size_t i = 0; i < stubs.size(); ++i) stubs[i] = nid(i / d);
+        for (std::size_t i = stubs.size(); i > 1; --i) {
+            std::swap(stubs[i - 1], stubs[rng.below(i)]);
+        }
+        edge_list es;
+        es.reserve(n * d / 2);
+        std::set<std::pair<node_id, node_id>> seen;
+        bool simple = true;
+        for (std::size_t i = 0; i < stubs.size(); i += 2) {
+            node_id u = stubs[i], v = stubs[i + 1];
+            if (u == v) {
+                simple = false;
+                break;
+            }
+            auto key = std::minmax(u, v);
+            if (!seen.insert({key.first, key.second}).second) {
+                simple = false;
+                break;
+            }
+            es.emplace_back(u, v);
+        }
+        if (!simple) continue;
+        try {
+            return graph(n, es,
+                         "random_regular(n=" + std::to_string(n) +
+                             ",d=" + std::to_string(d) + ")");
+        } catch (const error&) {
+            continue;  // disconnected; resample
+        }
+    }
+    throw error("make_random_regular: exceeded max_attempts");
+}
+
+graph make_erdos_renyi(std::size_t n, double p, std::uint64_t seed,
+                       std::size_t max_attempts) {
+    require(n >= 2, "make_erdos_renyi: n >= 2");
+    require(p > 0.0 && p <= 1.0, "make_erdos_renyi: p in (0,1]");
+    xoshiro256ss rng(derive_seed(seed, n, 0xE12));
+    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+        edge_list es;
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = i + 1; j < n; ++j) {
+                if (rng.bernoulli(p)) es.emplace_back(nid(i), nid(j));
+            }
+        }
+        try {
+            return graph(n, es, "erdos_renyi(n=" + std::to_string(n) + ")");
+        } catch (const error&) {
+            continue;  // disconnected; resample
+        }
+    }
+    throw error("make_erdos_renyi: exceeded max_attempts (p too small?)");
+}
+
+graph make_ring_of_cliques(std::size_t num_cliques, std::size_t clique_size) {
+    require(num_cliques >= 3, "make_ring_of_cliques: num_cliques >= 3");
+    require(clique_size >= 1, "make_ring_of_cliques: clique_size >= 1");
+    const std::size_t n = num_cliques * clique_size;
+    auto at = [clique_size](std::size_t c, std::size_t i) {
+        return nid(c * clique_size + i);
+    };
+    edge_list es;
+    for (std::size_t c = 0; c < num_cliques; ++c) {
+        for (std::size_t i = 0; i < clique_size; ++i) {
+            for (std::size_t j = i + 1; j < clique_size; ++j) {
+                es.emplace_back(at(c, i), at(c, j));
+            }
+        }
+        // Gateway: node 0 of clique c connects to node min(1, size-1) of
+        // clique c+1, so for size >= 2 the two gateway roles differ.
+        const std::size_t next = (c + 1) % num_cliques;
+        const std::size_t in_port = clique_size >= 2 ? 1 : 0;
+        es.emplace_back(at(c, 0), at(next, in_port));
+    }
+    return graph(n, es,
+                 "ring_of_cliques(" + std::to_string(num_cliques) + "x" +
+                     std::to_string(clique_size) + ")");
+}
+
+graph make_barbell(std::size_t k) {
+    require(k >= 2, "make_barbell: k >= 2");
+    edge_list es;
+    for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = i + 1; j < k; ++j) {
+            es.emplace_back(nid(i), nid(j));
+            es.emplace_back(nid(k + i), nid(k + j));
+        }
+    }
+    es.emplace_back(nid(0), nid(k));  // bridge
+    graph g(2 * k, es, "barbell(" + std::to_string(k) + ")");
+    graph_facts f;
+    f.diameter = 3;
+    g.set_facts(f);
+    return g;
+}
+
+graph make_lollipop(std::size_t k, std::size_t tail) {
+    require(k >= 2 && tail >= 1, "make_lollipop: k >= 2, tail >= 1");
+    edge_list es;
+    for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = i + 1; j < k; ++j) es.emplace_back(nid(i), nid(j));
+    }
+    for (std::size_t t = 0; t < tail; ++t) {
+        es.emplace_back(nid(t == 0 ? 0 : k + t - 1), nid(k + t));
+    }
+    return graph(k + tail, es,
+                 "lollipop(k=" + std::to_string(k) + ",tail=" + std::to_string(tail) + ")");
+}
+
+const char* to_string(graph_family f) noexcept {
+    switch (f) {
+        case graph_family::path: return "path";
+        case graph_family::cycle: return "cycle";
+        case graph_family::complete: return "complete";
+        case graph_family::star: return "star";
+        case graph_family::grid2d: return "grid2d";
+        case graph_family::torus: return "torus";
+        case graph_family::hypercube: return "hypercube";
+        case graph_family::binary_tree: return "binary_tree";
+        case graph_family::random_regular: return "random_regular";
+        case graph_family::erdos_renyi: return "erdos_renyi";
+        case graph_family::ring_of_cliques: return "ring_of_cliques";
+        case graph_family::barbell: return "barbell";
+        case graph_family::lollipop: return "lollipop";
+    }
+    return "?";
+}
+
+graph make_family(graph_family f, std::size_t n, std::uint64_t seed) {
+    require(n >= 2, "make_family: n >= 2");
+    switch (f) {
+        case graph_family::path: return make_path(n);
+        case graph_family::cycle: return make_cycle(std::max<std::size_t>(n, 3));
+        case graph_family::complete: return make_complete(n);
+        case graph_family::star: return make_star(n);
+        case graph_family::grid2d: {
+            const auto side = static_cast<std::size_t>(std::round(std::sqrt(n)));
+            return make_grid2d(std::max<std::size_t>(side, 2),
+                               std::max<std::size_t>(side, 2));
+        }
+        case graph_family::torus: {
+            const auto side = static_cast<std::size_t>(std::round(std::sqrt(n)));
+            return make_torus(std::max<std::size_t>(side, 3),
+                              std::max<std::size_t>(side, 3));
+        }
+        case graph_family::hypercube: {
+            std::size_t d = 1;
+            while ((std::size_t{1} << (d + 1)) <= n && d < 24) ++d;
+            return make_hypercube(d);
+        }
+        case graph_family::binary_tree: return make_binary_tree(n);
+        case graph_family::random_regular: {
+            std::size_t nn = n;
+            if (nn * 4 % 2 != 0) ++nn;  // keep n*d even (d=4: always even)
+            return make_random_regular(std::max<std::size_t>(nn, 6), 4, seed);
+        }
+        case graph_family::erdos_renyi: {
+            const double p =
+                std::min(1.0, 3.0 * std::log(static_cast<double>(n)) /
+                                   static_cast<double>(n));
+            return make_erdos_renyi(n, p, seed);
+        }
+        case graph_family::ring_of_cliques: {
+            const auto side = std::max<std::size_t>(
+                3, static_cast<std::size_t>(std::round(std::sqrt(n))));
+            return make_ring_of_cliques(side, std::max<std::size_t>(n / side, 1));
+        }
+        case graph_family::barbell: return make_barbell(std::max<std::size_t>(n / 2, 2));
+        case graph_family::lollipop:
+            return make_lollipop(std::max<std::size_t>(n / 2, 2),
+                                 std::max<std::size_t>(n - n / 2, 1));
+    }
+    throw error("make_family: unknown family");
+}
+
+std::vector<graph_family> all_families() {
+    return {graph_family::path,          graph_family::cycle,
+            graph_family::complete,      graph_family::star,
+            graph_family::grid2d,        graph_family::torus,
+            graph_family::hypercube,     graph_family::binary_tree,
+            graph_family::random_regular, graph_family::erdos_renyi,
+            graph_family::ring_of_cliques, graph_family::barbell,
+            graph_family::lollipop};
+}
+
+}  // namespace anole

@@ -1,0 +1,111 @@
+// anole — topology generators.
+//
+// The benchmark harness exercises every Table 1 row on concrete families
+// chosen to span the (Φ, tmix, D) landscape the paper's bounds trade over:
+//
+//   complete, hypercube, random_regular, erdos_renyi — well-connected,
+//       tmix = O(polylog): the regime where cautious broadcast shines and
+//       the Ω(m) flooding bound of [16] is beaten.
+//   torus, grid2d — moderate expansion, tmix = Θ(n) for square shapes.
+//   cycle, path — Φ = Θ(1/n), tmix = Θ(n²): the adversarial end, and the
+//       topology of the Theorem 2 pumping-wheel construction.
+//   ring_of_cliques, barbell, lollipop — conductance *dials*: fix n, vary
+//       the bottleneck, for the E4 crossover experiment.
+//   star, binary_tree — degenerate/hierarchical sanity topologies.
+//
+// Generators attach analytic `graph_facts` when textbook-exact values are
+// cheap (documented per generator); estimators fill the rest at runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace anole {
+
+// Simple path P_n: 0-1-2-...-(n-1). n >= 1.
+[[nodiscard]] graph make_path(std::size_t n);
+
+// Cycle C_n. n >= 3. Facts: diameter ⌊n/2⌋, Φ = 2/n (volume form),
+// i(G) = 2/⌊n/2⌋, tmix <= n² (lazy-walk upper bound).
+[[nodiscard]] graph make_cycle(std::size_t n);
+
+// Complete graph K_n. n >= 2. Facts: diameter 1, Φ >= 1/2, i(G) = ⌈n/2⌉.
+[[nodiscard]] graph make_complete(std::size_t n);
+
+// Star S_n: node 0 is the hub, n-1 leaves. n >= 2. Facts: diameter 2
+// (n > 2), Φ = 1, i(G) = 1.
+[[nodiscard]] graph make_star(std::size_t n);
+
+// rows x cols grid, 4-neighborhood, no wraparound. rows*cols >= 1.
+[[nodiscard]] graph make_grid2d(std::size_t rows, std::size_t cols);
+
+// rows x cols torus (wraparound grid). rows, cols >= 3 (else parallel
+// edges). Facts: diameter ⌊rows/2⌋+⌊cols/2⌋.
+[[nodiscard]] graph make_torus(std::size_t rows, std::size_t cols);
+
+// d-dimensional hypercube, n = 2^d nodes. d >= 1. Facts: diameter d.
+[[nodiscard]] graph make_hypercube(std::size_t dim);
+
+// Complete binary tree on n nodes (heap layout). n >= 1.
+[[nodiscard]] graph make_binary_tree(std::size_t n);
+
+// Random d-regular simple connected graph via the pairing model with
+// rejection. Requires n*d even, d < n. Throws after `max_attempts`
+// rejected pairings (practically unreachable for d >= 3).
+[[nodiscard]] graph make_random_regular(std::size_t n, std::size_t d,
+                                        std::uint64_t seed,
+                                        std::size_t max_attempts = 1000);
+
+// Erdős–Rényi G(n, p), resampled until connected (throws after
+// max_attempts). For guaranteed-quick connectivity use p >= 2 ln n / n.
+[[nodiscard]] graph make_erdos_renyi(std::size_t n, double p, std::uint64_t seed,
+                                     std::size_t max_attempts = 1000);
+
+// `num_cliques` cliques of `clique_size` nodes arranged in a ring;
+// consecutive cliques joined by a single edge between designated gateway
+// nodes. num_cliques >= 3, clique_size >= 1 (size 1 degenerates to C_k).
+// This is the conductance dial: Φ = Θ(1/(num_cliques * clique_size²)).
+[[nodiscard]] graph make_ring_of_cliques(std::size_t num_cliques,
+                                         std::size_t clique_size);
+
+// Two K_k cliques joined by a single bridge edge. k >= 2.
+// Facts: diameter 3, Φ = Θ(1/k²).
+[[nodiscard]] graph make_barbell(std::size_t k);
+
+// Lollipop: K_k with a path of `tail` extra nodes hanging off one vertex.
+// k >= 2, tail >= 1. The classic worst case for hitting times.
+[[nodiscard]] graph make_lollipop(std::size_t k, std::size_t tail);
+
+// --- registry for parameterized tests/benches ---
+
+enum class graph_family {
+    path,
+    cycle,
+    complete,
+    star,
+    grid2d,
+    torus,
+    hypercube,
+    binary_tree,
+    random_regular,
+    erdos_renyi,
+    ring_of_cliques,
+    barbell,
+    lollipop,
+};
+
+[[nodiscard]] const char* to_string(graph_family f) noexcept;
+
+// Builds a family instance of approximately `n` nodes with sensible shape
+// defaults (square torus, degree-4 regular, p = 3 ln n / n for ER, √n
+// cliques of √n nodes for ring_of_cliques, ...). The returned graph's
+// num_nodes() may differ slightly from n (e.g. squares, powers of two).
+[[nodiscard]] graph make_family(graph_family f, std::size_t n, std::uint64_t seed);
+
+// All families, for TEST_P instantiations.
+[[nodiscard]] std::vector<graph_family> all_families();
+
+}  // namespace anole

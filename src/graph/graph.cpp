@@ -1,0 +1,118 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <set>
+
+namespace anole {
+
+graph::graph(std::size_t n, const std::vector<std::pair<node_id, node_id>>& edges,
+             std::string name)
+    : name_(std::move(name)) {
+    require(n >= 1, "graph: need at least one node");
+    require(n <= std::size_t{1} << 31, "graph: too many nodes for node_id");
+
+    // Validate edges and count degrees.
+    std::vector<std::size_t> deg(n, 0);
+    std::set<std::pair<node_id, node_id>> seen;
+    for (auto [u, v] : edges) {
+        require(u < n && v < n, "graph: edge endpoint out of range");
+        require(u != v, "graph: self-loops not allowed");
+        auto key = std::minmax(u, v);
+        require(seen.insert({key.first, key.second}).second,
+                "graph: parallel edges not allowed");
+        ++deg[u];
+        ++deg[v];
+    }
+
+    offsets_.assign(n + 1, 0);
+    std::partial_sum(deg.begin(), deg.end(), offsets_.begin() + 1);
+    nbr_.resize(2 * edges.size());
+    rev_port_.resize(2 * edges.size());
+
+    std::vector<std::size_t> fill(n, 0);
+    for (auto [u, v] : edges) {
+        const auto pu = static_cast<port_id>(fill[u]++);
+        const auto pv = static_cast<port_id>(fill[v]++);
+        nbr_[offsets_[u] + pu] = v;
+        nbr_[offsets_[v] + pv] = u;
+        rev_port_[offsets_[u] + pu] = pv;
+        rev_port_[offsets_[v] + pv] = pu;
+    }
+    max_degree_ = deg.empty() ? 0 : *std::max_element(deg.begin(), deg.end());
+
+    // Connectivity check (model requirement, paper §2).
+    if (n > 1) {
+        std::vector<char> vis(n, 0);
+        std::queue<node_id> q;
+        q.push(0);
+        vis[0] = 1;
+        std::size_t cnt = 1;
+        while (!q.empty()) {
+            const node_id u = q.front();
+            q.pop();
+            for (node_id w : neighbors(u)) {
+                if (!vis[w]) {
+                    vis[w] = 1;
+                    ++cnt;
+                    q.push(w);
+                }
+            }
+        }
+        require(cnt == n, "graph: must be connected");
+    }
+}
+
+port_id graph::port_to(node_id u, node_id v) const {
+    for (port_id p = 0; p < degree(u); ++p) {
+        if (neighbor(u, p) == v) return p;
+    }
+    throw error("graph::port_to: not an edge");
+}
+
+graph graph::with_permuted_ports(std::uint64_t seed) const {
+    graph out;
+    out.offsets_ = offsets_;
+    out.nbr_.resize(nbr_.size());
+    out.rev_port_.resize(rev_port_.size());
+    out.max_degree_ = max_degree_;
+    out.name_ = name_ + "+permports";
+    out.facts_ = facts_;
+
+    const std::size_t n = num_nodes();
+    // Per-node permutation of its port slots.
+    std::vector<std::vector<port_id>> perm(n);  // perm[u][old_port] = new_port
+    for (node_id u = 0; u < n; ++u) {
+        const std::size_t d = degree(u);
+        perm[u].resize(d);
+        std::iota(perm[u].begin(), perm[u].end(), 0);
+        xoshiro256ss rng(derive_seed(seed, u, 0x9097));
+        for (std::size_t i = d; i > 1; --i) {
+            std::swap(perm[u][i - 1], perm[u][rng.below(i)]);
+        }
+    }
+    for (node_id u = 0; u < n; ++u) {
+        for (port_id p = 0; p < degree(u); ++p) {
+            const node_id v = neighbor(u, p);
+            const port_id q = reverse_port(u, p);
+            const port_id np = perm[u][p];
+            out.nbr_[offsets_[u] + np] = v;
+            out.rev_port_[offsets_[u] + np] = perm[v][q];
+        }
+    }
+    return out;
+}
+
+std::vector<std::pair<node_id, node_id>> graph::edge_list() const {
+    std::vector<std::pair<node_id, node_id>> out;
+    out.reserve(num_edges());
+    for (node_id u = 0; u < num_nodes(); ++u) {
+        for (node_id v : neighbors(u)) {
+            if (u < v) out.emplace_back(u, v);
+        }
+    }
+    return out;
+}
+
+}  // namespace anole

@@ -1,0 +1,256 @@
+#include "graph/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/properties.h"
+#include "util/rng.h"
+
+namespace anole {
+
+std::vector<double> walk_distribution_step(const graph& g, const std::vector<double>& pi) {
+    require(pi.size() == g.num_nodes(), "walk_distribution_step: size mismatch");
+    std::vector<double> out(pi.size(), 0.0);
+    for (node_id u = 0; u < g.num_nodes(); ++u) {
+        const double self = pi[u] * 0.5;
+        out[u] += self;
+        const double share = pi[u] * 0.5 / static_cast<double>(g.degree(u));
+        for (node_id v : g.neighbors(u)) out[v] += share;
+    }
+    return out;
+}
+
+std::vector<double> walk_stationary(const graph& g) {
+    std::vector<double> pi(g.num_nodes());
+    const double denom = 2.0 * static_cast<double>(g.num_edges());
+    for (node_id u = 0; u < g.num_nodes(); ++u) {
+        pi[u] = static_cast<double>(g.degree(u)) / denom;
+    }
+    return pi;
+}
+
+namespace {
+
+// Steps the distribution from a point mass at `src` until within eps of
+// stationary in ∞-norm; returns the step count.
+std::uint64_t mix_from(const graph& g, node_id src, const std::vector<double>& target,
+                       double eps, std::uint64_t max_steps) {
+    std::vector<double> pi(g.num_nodes(), 0.0);
+    pi[src] = 1.0;
+    for (std::uint64_t t = 0;; ++t) {
+        double gap = 0.0;
+        for (std::size_t i = 0; i < pi.size(); ++i) {
+            gap = std::max(gap, std::abs(pi[i] - target[i]));
+        }
+        if (gap <= eps) return t;
+        require(t < max_steps, "mixing_time_simulated: exceeded max_steps");
+        pi = walk_distribution_step(g, pi);
+    }
+}
+
+}  // namespace
+
+std::uint64_t mixing_time_simulated(const graph& g, const mixing_time_options& opt) {
+    const auto target = walk_stationary(g);
+    const double eps = 1.0 / (2.0 * static_cast<double>(g.num_nodes()));
+
+    std::vector<node_id> starts;
+    if (opt.exhaustive_starts) {
+        starts.resize(g.num_nodes());
+        std::iota(starts.begin(), starts.end(), 0);
+    } else {
+        // Extremal heuristic: BFS-farthest pair, min/max degree, randoms.
+        const auto d0 = bfs_distances(g, 0);
+        const node_id a = static_cast<node_id>(
+            std::max_element(d0.begin(), d0.end()) - d0.begin());
+        const auto da = bfs_distances(g, a);
+        const node_id b = static_cast<node_id>(
+            std::max_element(da.begin(), da.end()) - da.begin());
+        node_id dmin = 0, dmax = 0;
+        for (node_id u = 0; u < g.num_nodes(); ++u) {
+            if (g.degree(u) < g.degree(dmin)) dmin = u;
+            if (g.degree(u) > g.degree(dmax)) dmax = u;
+        }
+        starts = {0, a, b, dmin, dmax};
+        xoshiro256ss rng(derive_seed(opt.seed, g.num_nodes(), 0x317));
+        for (std::size_t i = 0; i < opt.extra_starts; ++i) {
+            starts.push_back(static_cast<node_id>(rng.below(g.num_nodes())));
+        }
+        std::sort(starts.begin(), starts.end());
+        starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+    }
+
+    std::uint64_t worst = 0;
+    for (node_id s : starts) {
+        worst = std::max(worst, mix_from(g, s, target, eps, opt.max_steps));
+    }
+    return worst;
+}
+
+namespace {
+
+// y = N x with N = I/2 + D^{-1/2} A D^{-1/2} / 2 (symmetric).
+std::vector<double> lazy_sym_step(const graph& g, const std::vector<double>& x,
+                                  const std::vector<double>& inv_sqrt_d) {
+    std::vector<double> y(x.size(), 0.0);
+    for (node_id u = 0; u < g.num_nodes(); ++u) {
+        y[u] += 0.5 * x[u];
+        const double xu = 0.5 * x[u] * inv_sqrt_d[u];
+        for (node_id v : g.neighbors(u)) {
+            y[v] += xu * inv_sqrt_d[v];
+        }
+    }
+    return y;
+}
+
+double norm2(const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x * x;
+    return std::sqrt(s);
+}
+
+void deflate(std::vector<double>& v, const std::vector<double>& unit_top) {
+    double dot = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) dot += v[i] * unit_top[i];
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] -= dot * unit_top[i];
+}
+
+std::size_t auto_iters(const graph& g, std::size_t requested) {
+    if (requested != 0) return requested;
+    // Power iteration error decays like (λ2/λ1)^t; spectral gaps as small
+    // as ~1/n² (cycle) need Θ(n² log n) iterations. Cap generously.
+    const double n = static_cast<double>(g.num_nodes());
+    const double est = 40.0 * n * std::log(n + 2.0);
+    return static_cast<std::size_t>(std::min(est, 4.0e6)) + 100;
+}
+
+}  // namespace
+
+double lambda2_lazy(const graph& g, std::size_t iters) {
+    const std::size_t n = g.num_nodes();
+    require(n >= 2, "lambda2_lazy: n >= 2");
+    std::vector<double> inv_sqrt_d(n), top(n);
+    for (node_id u = 0; u < n; ++u) {
+        inv_sqrt_d[u] = 1.0 / std::sqrt(static_cast<double>(g.degree(u)));
+        top[u] = std::sqrt(static_cast<double>(g.degree(u)));
+    }
+    const double tn = norm2(top);
+    for (double& x : top) x /= tn;
+
+    xoshiro256ss rng(derive_seed(0xFEED, n, g.num_edges()));
+    std::vector<double> v(n);
+    for (double& x : v) x = rng.uniform01() - 0.5;
+    deflate(v, top);
+    double nv = norm2(v);
+    require(nv > 0, "lambda2_lazy: degenerate start");
+    for (double& x : v) x /= nv;
+
+    const std::size_t its = auto_iters(g, iters);
+    double lambda = 0.5;
+    for (std::size_t t = 0; t < its; ++t) {
+        std::vector<double> w = lazy_sym_step(g, v, inv_sqrt_d);
+        deflate(w, top);
+        const double nw = norm2(w);
+        if (nw < 1e-300) return 0.5;  // spectrum collapsed; lazy floor
+        lambda = nw;  // Rayleigh-ish: |N v| for unit v converges to λ2
+        for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / nw;
+        // Early exit once consecutive estimates stabilize.
+        if (t > 64 && t % 32 == 0) {
+            std::vector<double> w2 = lazy_sym_step(g, v, inv_sqrt_d);
+            deflate(w2, top);
+            const double l2 = norm2(w2);
+            if (std::abs(l2 - lambda) < 1e-12) return l2;
+        }
+    }
+    return lambda;
+}
+
+std::uint64_t mixing_time_spectral_bound(const graph& g) {
+    const double l2 = lambda2_lazy(g);
+    const double n = static_cast<double>(g.num_nodes());
+    const auto ds = degrees(g);
+    const double ratio = std::sqrt(static_cast<double>(ds.max) /
+                                   static_cast<double>(ds.min));
+    // ‖P^t π0 − π‖∞ ≤ n·√(dmax/dmin)·λ₂^t; need ≤ 1/(2n).
+    const double needed = std::log(2.0 * n * n * ratio);
+    const double gap = -std::log(std::min(l2, 1.0 - 1e-12));
+    return static_cast<std::uint64_t>(std::ceil(needed / std::max(gap, 1e-12)));
+}
+
+std::vector<double> fiedler_vector(const graph& g, std::size_t iters, std::uint64_t seed) {
+    const std::size_t n = g.num_nodes();
+    require(n >= 2, "fiedler_vector: n >= 2");
+    std::vector<double> inv_sqrt_d(n), top(n);
+    for (node_id u = 0; u < n; ++u) {
+        inv_sqrt_d[u] = 1.0 / std::sqrt(static_cast<double>(g.degree(u)));
+        top[u] = std::sqrt(static_cast<double>(g.degree(u)));
+    }
+    const double tn = norm2(top);
+    for (double& x : top) x /= tn;
+
+    xoshiro256ss rng(derive_seed(seed, n, 0xF1ED));
+    std::vector<double> v(n);
+    for (double& x : v) x = rng.uniform01() - 0.5;
+    deflate(v, top);
+    double nv = norm2(v);
+    for (double& x : v) x /= nv;
+
+    const std::size_t its = auto_iters(g, iters);
+    for (std::size_t t = 0; t < its; ++t) {
+        std::vector<double> w = lazy_sym_step(g, v, inv_sqrt_d);
+        deflate(w, top);
+        const double nw = norm2(w);
+        if (nw < 1e-300) break;
+        for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / nw;
+    }
+    // Scale back: sweep cuts should order by the D^{-1/2}-scaled embedding.
+    for (std::size_t i = 0; i < n; ++i) v[i] *= inv_sqrt_d[i];
+    return v;
+}
+
+graph_profile profile(const graph& g, std::uint64_t seed) {
+    graph_profile p;
+    p.n = g.num_nodes();
+    p.m = g.num_edges();
+    const graph_facts& f = g.facts();
+
+    if (f.diameter) {
+        p.diameter = static_cast<std::uint32_t>(*f.diameter);
+    } else if (p.n <= 4096) {
+        p.diameter = diameter_exact(g);
+    } else {
+        p.diameter = diameter_estimate(g).upper;
+    }
+
+    const bool small = p.n <= 20;
+    p.exact_cuts = small;
+    if (f.conductance) {
+        p.conductance = *f.conductance;
+        p.exact_cuts = true;
+    } else if (small) {
+        p.conductance = conductance_exact(g);
+    } else {
+        p.conductance = conductance_sweep(g, fiedler_vector(g, 0, seed));
+    }
+    if (f.isoperimetric) {
+        p.isoperimetric = *f.isoperimetric;
+    } else if (small) {
+        p.isoperimetric = isoperimetric_exact(g);
+    } else {
+        p.isoperimetric = isoperimetric_sweep(g, fiedler_vector(g, 0, seed));
+    }
+
+    p.lambda2 = lambda2_lazy(g);
+    if (f.mixing_time) {
+        p.mixing_time = *f.mixing_time;
+    } else {
+        mixing_time_options opt;
+        opt.seed = seed;
+        opt.exhaustive_starts = p.n <= 128;
+        p.mixing_time = mixing_time_simulated(g, opt);
+    }
+    return p;
+}
+
+}  // namespace anole

@@ -1,0 +1,87 @@
+// anole — spectral analysis of the lazy random walk.
+//
+// The paper's walk (Algorithm 5) is the *lazy uniform* walk: stay put with
+// probability 1/2, else move to a uniform neighbor. Its transition matrix
+// is P = I/2 + D⁻¹A/2 with stationary distribution π_i = d_i / 2m, and the
+// paper defines tmix(G) as the least t with ‖P^t π0 − π*‖∞ ≤ 1/(2n) for
+// every start π0 (§2).
+//
+// We provide:
+//   * walk_distribution_step — one exact step of π ← πP (sparse, O(m));
+//   * mixing_time_simulated — direct evaluation of the §2 definition from
+//     every point-mass start (exact; O(n · tmix · m), for small/medium n)
+//     or from a heuristic subset of extremal starts (certified as a lower
+//     bound estimate, in practice tight);
+//   * lambda2_lazy — second-largest eigenvalue of the symmetrized lazy
+//     walk via power iteration with deflation, giving the spectral upper
+//     bound tmix ≤ log(2n·√(dmax/dmin)·n)/(1−λ₂)-style estimates;
+//   * fiedler_vector — eigenvector for λ₂ of the normalized adjacency,
+//     feeding the sweep cuts in graph/properties.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace anole {
+
+// One step of the lazy uniform walk distribution: out[v] =
+// pi[v]/2 + Σ_{u~v} pi[u]/(2 deg(u)). `pi` and the result sum to the same
+// total (exactly in real arithmetic; to ~1e-15 in double).
+[[nodiscard]] std::vector<double> walk_distribution_step(const graph& g,
+                                                         const std::vector<double>& pi);
+
+// Stationary distribution of the lazy uniform walk: d_i / 2m.
+[[nodiscard]] std::vector<double> walk_stationary(const graph& g);
+
+struct mixing_time_options {
+    // If true, try every point-mass start (exact per the §2 definition);
+    // otherwise only extremal starts (double-sweep endpoints, min/max
+    // degree nodes, plus `extra_starts` random ones).
+    bool exhaustive_starts = false;
+    std::size_t extra_starts = 4;
+    std::uint64_t seed = 1;
+    // Hard cap on simulated steps (throws anole::error beyond it).
+    std::uint64_t max_steps = 50'000'000;
+};
+
+// tmix per the paper's definition (∞-norm gap 1/(2n)). With
+// exhaustive_starts this is exact; otherwise it is a lower-bound estimate
+// that is tight on all families we ship (worst starts are extremal).
+[[nodiscard]] std::uint64_t mixing_time_simulated(const graph& g,
+                                                  const mixing_time_options& opt = {});
+
+// Second-largest eigenvalue (in absolute value all eigenvalues of the lazy
+// matrix are >= 0, so this is λ₂) of the symmetrized lazy walk
+// N = I/2 + D^{-1/2} A D^{-1/2} / 2, via power iteration with deflation of
+// the known top eigenvector (√d). `iters` power steps (default auto).
+[[nodiscard]] double lambda2_lazy(const graph& g, std::size_t iters = 0);
+
+// Spectral upper bound on tmix from λ₂: ceil( log(n²·√(dmax/dmin)·2) / (1−λ₂) ).
+[[nodiscard]] std::uint64_t mixing_time_spectral_bound(const graph& g);
+
+// Fiedler-style embedding: eigenvector of the *second* eigenvalue of the
+// normalized adjacency D^{-1/2} A D^{-1/2}, components scaled by D^{-1/2}
+// so sweep cuts cut the right measure. Deterministic given `seed`.
+[[nodiscard]] std::vector<double> fiedler_vector(const graph& g, std::size_t iters = 0,
+                                                 std::uint64_t seed = 7);
+
+// --- one-stop profile used by benches ---
+
+struct graph_profile {
+    std::size_t n = 0;
+    std::size_t m = 0;
+    std::uint32_t diameter = 0;      // exact when n small, else upper bound
+    double conductance = 0;          // exact when n <= 20, else sweep upper bound
+    double isoperimetric = 0;        // likewise
+    std::uint64_t mixing_time = 0;   // simulated per §2 definition
+    double lambda2 = 0;
+    bool exact_cuts = false;         // whether Φ/i(G) are exact
+};
+
+// Computes the profile, honoring generator-provided graph_facts when
+// available (they win over estimates; estimates fill gaps).
+[[nodiscard]] graph_profile profile(const graph& g, std::uint64_t seed = 1);
+
+}  // namespace anole

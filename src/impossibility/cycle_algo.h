@@ -1,0 +1,98 @@
+// anole — a stop-by-T(n) Leader Election algorithm on cycles, in the
+// execution model of Theorem 2's proof.
+//
+// The impossibility proof (paper §5.1) treats an algorithm as a Mealy
+// machine: per round every node draws ONE random bit, observes the states
+// its two cycle neighbors exposed in the previous round, and transitions
+// deterministically. To *demonstrate* the theorem operationally we need a
+// concrete algorithm A in this model that (a) knows the cycle size n,
+// (b) solves LE on C_n whp, and (c) stops by a fixed T(n) — then the
+// pumping-wheel construction (pumping_wheel.h) shows how tape replication
+// makes the very same A elect two leaders on a larger cycle C_N whose
+// size it does not know.
+//
+//   A: for B = 4⌈log2 n⌉ rounds, accumulate one random bit per round into
+//      an ID (the proof's "one random bit per round" assumption, verbatim);
+//      then flood the running maximum for ⌈n/2⌉ + 1 rounds (a cycle has
+//      radius ⌈n/2⌉); stop at T(n) = B + ⌈n/2⌉ + 1 and raise the flag iff
+//      the maximum equals the own ID. Unique maximum whp ⇒ one leader.
+//
+// States are plain comparable structs so the Figure 2 invariant ("node at
+// distance x from the core's center has the same configuration as the
+// C_n node at distance x mod n") can be checked field-for-field.
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+
+#include "util/error.h"
+
+namespace anole {
+
+// Full per-node configuration; equality = configuration equality.
+struct cyc_state {
+    std::uint64_t id = 0;        // bits accumulated so far
+    std::uint64_t max_seen = 0;  // flood maximum
+    bool stopped = false;
+    bool leader = false;
+
+    friend bool operator==(const cyc_state& a, const cyc_state& b) noexcept {
+        return std::tie(a.id, a.max_seen, a.stopped, a.leader) ==
+               std::tie(b.id, b.max_seen, b.stopped, b.leader);
+    }
+};
+
+class cycle_le_algo {
+public:
+    // The algorithm is *told* the cycle has `n` nodes — exactly the
+    // knowledge Theorem 2 says cannot be replaced.
+    explicit cycle_le_algo(std::size_t n) : n_(n) {
+        require(n >= 3, "cycle_le_algo: n >= 3");
+        bits_ = 4 * ceil_log2(n);
+    }
+
+    [[nodiscard]] std::size_t n() const noexcept { return n_; }
+    [[nodiscard]] std::uint64_t id_bits() const noexcept { return bits_; }
+    // Stop time T(n): ID assembly + radius flood + settle round.
+    [[nodiscard]] std::uint64_t stop_time() const noexcept {
+        return bits_ + (n_ + 1) / 2 + 1;
+    }
+
+    [[nodiscard]] cyc_state initial() const noexcept { return {}; }
+
+    // One deterministic transition given the round number, the node's own
+    // random bit for this round, and both neighbors' previous states.
+    [[nodiscard]] cyc_state step(std::uint64_t round, const cyc_state& self, bool bit,
+                                 const cyc_state& left, const cyc_state& right) const {
+        cyc_state s = self;
+        if (s.stopped) return s;
+        if (round < bits_) {
+            s.id = (s.id << 1) | (bit ? 1u : 0u);
+            s.max_seen = s.id;
+        } else {
+            if (left.max_seen > s.max_seen) s.max_seen = left.max_seen;
+            if (right.max_seen > s.max_seen) s.max_seen = right.max_seen;
+        }
+        if (round + 1 >= stop_time()) {
+            s.stopped = true;
+            s.leader = s.max_seen == s.id;
+        }
+        return s;
+    }
+
+private:
+    [[nodiscard]] static std::uint64_t ceil_log2(std::size_t v) noexcept {
+        std::uint64_t b = 0;
+        std::size_t t = 1;
+        while (t < v) {
+            t <<= 1;
+            ++b;
+        }
+        return b == 0 ? 1 : b;
+    }
+
+    std::size_t n_;
+    std::uint64_t bits_;
+};
+
+}  // namespace anole

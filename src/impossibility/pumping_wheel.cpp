@@ -1,0 +1,96 @@
+#include "impossibility/pumping_wheel.h"
+
+#include <cmath>
+
+namespace anole {
+
+winning_execution find_winning_execution(const cycle_le_algo& algo, std::uint64_t seed,
+                                         std::size_t max_attempts) {
+    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+        cycle_machine m(algo, algo.n());
+        m.seed_recorders(derive_seed(seed, attempt, 0x717));
+        m.run(algo.stop_time());
+        const auto leaders = m.leaders();
+        if (leaders.size() == 1 && m.stopped_count() == algo.n()) {
+            winning_execution win;
+            win.tapes = m.tapes();
+            win.final_states.reserve(algo.n());
+            for (std::size_t i = 0; i < algo.n(); ++i) {
+                win.final_states.push_back(m.state(i));
+            }
+            win.leader_index = leaders[0];
+            win.attempts = attempt + 1;
+            return win;
+        }
+    }
+    throw error("find_winning_execution: no winning execution found");
+}
+
+witness_layout build_witness_layout(const cycle_le_algo& algo, std::size_t witnesses) {
+    require(witnesses >= 1, "build_witness_layout: witnesses >= 1");
+    witness_layout lay;
+    lay.n = algo.n();
+    lay.t = algo.stop_time();
+    lay.witnesses = witnesses;
+    lay.witness_len = 2 * static_cast<std::size_t>(lay.t) + 2 * lay.n;
+    lay.stride = lay.witness_len + 2 * static_cast<std::size_t>(lay.t);
+    lay.big_n = witnesses * lay.stride;
+    return lay;
+}
+
+pumped_result run_pumped(const cycle_le_algo& algo, const winning_execution& win,
+                         std::size_t witnesses, std::uint64_t seed) {
+    const witness_layout lay = build_witness_layout(algo, witnesses);
+    require(win.tapes.size() == lay.n, "run_pumped: tape count != n");
+
+    cycle_machine m(algo, lay.big_n);
+    // Separators: fresh randomness — the adversary controls nothing there.
+    m.seed_fresh(derive_seed(seed, 0, 0xB16));
+    // Witnesses: locally C_n-consistent tape replication (Figure 1): the
+    // node at offset q within the witness runs τ_{q mod n}, so every
+    // witness-interior node sees exactly the neighborhood its C_n
+    // counterpart saw.
+    for (std::size_t w = 0; w < lay.witnesses; ++w) {
+        const std::size_t base = lay.witness_begin(w);
+        for (std::size_t q = 0; q < lay.witness_len; ++q) {
+            m.set_tape(base + q, win.tapes[q % lay.n]);
+        }
+    }
+
+    m.run(lay.t);
+
+    pumped_result res;
+    res.layout = lay;
+    res.leaders_total = m.leaders().size();
+    res.stopped_total = m.stopped_count();
+
+    // Figure 2 invariant at t = T(n): every core node's configuration
+    // equals its C_n counterpart's configuration in Γ.
+    for (std::size_t w = 0; w < lay.witnesses; ++w) {
+        const std::size_t cb = lay.core_begin(w);
+        std::size_t leaders_in_core = 0;
+        for (std::size_t q = 0; q < 2 * lay.n; ++q) {
+            const std::size_t pos = cb + q;
+            const std::size_t offset_in_witness = pos - lay.witness_begin(w);
+            const cyc_state& got = m.state(pos);
+            const cyc_state& want = win.final_states[offset_in_witness % lay.n];
+            ++res.invariant_checked;
+            if (!(got == want)) res.invariant_held = false;
+            if (got.leader) ++leaders_in_core;
+        }
+        if (leaders_in_core >= 2) ++res.witnesses_with_two;
+    }
+    return res;
+}
+
+double required_cycle_size_log2(const cycle_le_algo& algo, double c) {
+    require(c > 0 && c < 1, "required_cycle_size_log2: 0 < c < 1");
+    const double n = static_cast<double>(algo.n());
+    const double t = static_cast<double>(algo.stop_time());
+    // N = (1 + ln(1/c)/c² · 2^{2nT}) · (4T + 2n); in log2:
+    const double log2_reps = std::log2(std::log(1.0 / c) / (c * c)) + 2.0 * n * t;
+    const double log2_stride = std::log2(4.0 * t + 2.0 * n);
+    return log2_reps + log2_stride;
+}
+
+}  // namespace anole

@@ -1,0 +1,194 @@
+// anole — the probabilistic pumping wheel (paper §5.1, Theorem 2,
+// Figures 1 and 2), executable.
+//
+// Machinery:
+//   * cycle_machine — runs a cycle_le_algo on a cycle of any size, each
+//     node drawing bits from its own bit_source (live RNG, recorder, or
+//     replayed tape); exposes the full configuration history so the
+//     Figure 2 invariant can be checked.
+//   * find_winning_execution — runs A on C_n with tape recorders until
+//     the execution wins (unique leader); returns the per-node tapes of
+//     the winning configuration Γ.
+//   * build_witness_layout — the Figure 1 geometry on C_N: W witnesses of
+//     2T(n) + 2n nodes (core = middle 2n, two n-node segments), pairwise
+//     separated by 2T(n) fresh-random nodes, N = W · (4T(n) + 2n).
+//   * run_pumped — assigns witness node at cyclic offset q the tape
+//     τ_{q mod n} of the winning C_n execution (a locally C_n-consistent
+//     labeling: every witness-interior node sees exactly the neighborhood
+//     its C_n counterpart saw, so by induction — the Figure 2 invariant —
+//     the core reproduces two copies of Γ), fresh random tapes elsewhere,
+//     runs A for T(n) rounds, and reports every leader and every
+//     invariant violation.
+//
+// The theorem's probabilistic content — that *fresh* random tapes realize
+// some witness's replication spontaneously once
+// N ≥ (1 + ln(1/c)/c² · 2^{2nT}) (4T + 2n) — is what makes the bound
+// astronomical; required_cycle_size() evaluates it so the bench can print
+// why the demonstration seeds tapes instead of waiting for the universe
+// to end. Either way the conclusion is the same and is checked by
+// execution: the algorithm cannot distinguish C_N from C_n, stops, and
+// elects two leaders.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "impossibility/cycle_algo.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace anole {
+
+// Runs a cycle_le_algo on a cycle of `size` nodes with per-node bit
+// sources. Node i's neighbors are (i-1) mod size and (i+1) mod size.
+class cycle_machine {
+public:
+    cycle_machine(const cycle_le_algo& algo, std::size_t size)
+        : algo_(&algo), size_(size) {
+        require(size >= 3, "cycle_machine: size >= 3");
+        states_.assign(size, algo.initial());
+        sources_.resize(size);
+    }
+
+    // All nodes draw fresh bits derived from (seed, node index).
+    void seed_fresh(std::uint64_t seed) {
+        for (std::size_t i = 0; i < size_; ++i) {
+            sources_[i] = std::make_unique<rng_bit_source>(derive_seed(seed, i, 0xC1C));
+        }
+    }
+    // All nodes record their bits (for find_winning_execution).
+    void seed_recorders(std::uint64_t seed) {
+        recorders_.clear();
+        recorders_.resize(size_);
+        for (std::size_t i = 0; i < size_; ++i) {
+            auto rec = std::make_unique<tape_recorder>(derive_seed(seed, i, 0xEC0));
+            recorders_[i] = rec.get();
+            sources_[i] = std::move(rec);
+        }
+    }
+    void set_tape(std::size_t i, std::vector<bool> tape) {
+        require(i < size_, "cycle_machine::set_tape: out of range");
+        sources_[i] = std::make_unique<tape_player>(std::move(tape));
+    }
+    void set_fresh(std::size_t i, std::uint64_t seed) {
+        require(i < size_, "cycle_machine::set_fresh: out of range");
+        sources_[i] = std::make_unique<rng_bit_source>(derive_seed(seed, i, 0xF2E));
+    }
+
+    // Runs `rounds` synchronous rounds.
+    void run(std::uint64_t rounds) {
+        std::vector<cyc_state> next(size_);
+        for (std::uint64_t r = 0; r < rounds; ++r) {
+            for (std::size_t i = 0; i < size_; ++i) {
+                require(sources_[i] != nullptr, "cycle_machine: node without bits");
+                const bool bit = sources_[i]->next_bit();
+                const cyc_state& left = states_[(i + size_ - 1) % size_];
+                const cyc_state& right = states_[(i + 1) % size_];
+                next[i] = algo_->step(round_, states_[i], bit, left, right);
+            }
+            states_.swap(next);
+            ++round_;
+        }
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+    [[nodiscard]] const cyc_state& state(std::size_t i) const { return states_[i]; }
+    [[nodiscard]] std::vector<std::size_t> leaders() const {
+        std::vector<std::size_t> out;
+        for (std::size_t i = 0; i < size_; ++i) {
+            if (states_[i].leader) out.push_back(i);
+        }
+        return out;
+    }
+    [[nodiscard]] std::size_t stopped_count() const {
+        std::size_t c = 0;
+        for (const auto& s : states_) c += s.stopped ? 1 : 0;
+        return c;
+    }
+    // Tapes recorded so far (seed_recorders mode only).
+    [[nodiscard]] std::vector<std::vector<bool>> tapes() const {
+        std::vector<std::vector<bool>> out;
+        out.reserve(recorders_.size());
+        for (const auto* rec : recorders_) {
+            require(rec != nullptr, "cycle_machine::tapes: not recording");
+            out.push_back(rec->tape());
+        }
+        return out;
+    }
+
+private:
+    const cycle_le_algo* algo_;
+    std::size_t size_;
+    std::uint64_t round_ = 0;
+    std::vector<cyc_state> states_;
+    std::vector<std::unique_ptr<bit_source>> sources_;
+    std::vector<tape_recorder*> recorders_;  // non-owning views
+};
+
+// --- winning executions ------------------------------------------------------
+
+struct winning_execution {
+    std::vector<std::vector<bool>> tapes;  // per C_n node, length T(n)
+    std::vector<cyc_state> final_states;   // the winning configuration Γ
+    std::size_t leader_index = 0;
+    std::size_t attempts = 0;
+};
+
+// Repeats fresh executions of A on C_n until one elects a unique leader
+// (usually the first attempt); records the tapes realizing Γ.
+[[nodiscard]] winning_execution find_winning_execution(const cycle_le_algo& algo,
+                                                       std::uint64_t seed,
+                                                       std::size_t max_attempts = 1000);
+
+// --- the Figure 1 layout -----------------------------------------------------
+
+struct witness_layout {
+    std::size_t n = 0;           // the size A believes in
+    std::uint64_t t = 0;         // T(n)
+    std::size_t witnesses = 0;   // W
+    std::size_t witness_len = 0; // 2T + 2n
+    std::size_t stride = 0;      // 4T + 2n (witness + separator)
+    std::size_t big_n = 0;       // N = W · stride
+
+    // Witness w occupies positions [w*stride, w*stride + witness_len).
+    [[nodiscard]] std::size_t witness_begin(std::size_t w) const { return w * stride; }
+    // Core = middle 2n positions of the witness.
+    [[nodiscard]] std::size_t core_begin(std::size_t w) const {
+        return witness_begin(w) + static_cast<std::size_t>(t);
+    }
+    [[nodiscard]] bool in_witness(std::size_t pos) const {
+        return pos % stride < witness_len;
+    }
+};
+
+[[nodiscard]] witness_layout build_witness_layout(const cycle_le_algo& algo,
+                                                  std::size_t witnesses);
+
+// --- the pumped execution ----------------------------------------------------
+
+struct pumped_result {
+    std::size_t leaders_total = 0;       // flags raised anywhere on C_N
+    std::size_t stopped_total = 0;       // nodes that stopped by T(n)
+    std::size_t witnesses_with_two = 0;  // witnesses whose core elected >= 2
+    bool invariant_held = true;          // Figure 2 check over all cores
+    std::size_t invariant_checked = 0;   // node-comparisons performed
+    witness_layout layout;
+};
+
+// Builds C_N per the layout, seeds witness nodes with tapes τ_{q mod n}
+// (q = offset within the witness) and separators with fresh randomness,
+// runs A for T(n) rounds, verifies the Figure 2 invariant on every core
+// node (state must equal the C_n counterpart's final state in Γ), and
+// counts leaders.
+[[nodiscard]] pumped_result run_pumped(const cycle_le_algo& algo,
+                                       const winning_execution& win,
+                                       std::size_t witnesses, std::uint64_t seed);
+
+// Theorem 2's sufficient cycle size for *spontaneous* double election
+// with probability > 1 - c: N = (1 + ln(1/c)/c² · 2^{2nT}) (4T + 2n).
+// Returned as log2(N) (the value itself does not fit in any integer).
+[[nodiscard]] double required_cycle_size_log2(const cycle_le_algo& algo, double c);
+
+}  // namespace anole

@@ -1,0 +1,254 @@
+// anole — synchronous CONGEST round engine.
+//
+// Executes one protocol instance per node of a graph under the model of
+// the paper (§2): globally synchronous rounds; per round each node may
+// send at most one message per incident link direction; delivery happens
+// at the start of the next round; local computation is free.
+//
+// Anonymity is enforced by construction: protocol code receives a
+// `node_ctx` exposing *only* the local degree, port-indexed send, a
+// private RNG stream, the round number and a halt switch. Node indices
+// exist solely on the engine side for bookkeeping. Tests additionally run
+// protocols under randomly permuted port labelings (graph::
+// with_permuted_ports) to catch accidental label dependence.
+//
+// The engine is a class template over the protocol type P, which must
+// provide:
+//     using message_type = ...;   // copyable, with bit_size() -> size_t
+//     void on_round(node_ctx<message_type>& ctx,
+//                   inbox_view<message_type> inbox);
+//
+// The inbox is the list of (arrival port, message) pairs delivered this
+// round, in a deterministic but protocol-unobservable order. on_round is
+// called every round for every non-halted node. A node that calls
+// ctx.halt() is never stepped again and sends nothing.
+//
+// Cost accounting (sim/metrics.h): every send tallies one message and its
+// exact bit size; budget policies (sim/budget.h) reject or fragment
+// messages exceeding the per-link CONGEST budget. In fragment mode a
+// round's time cost is the worst ⌈bits/budget⌉ over its messages — the
+// synchronous network advances at the slowest link's pace, matching the
+// paper's own accounting of bit-by-bit potential transmission.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/budget.h"
+#include "sim/metrics.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace anole {
+
+template <class M>
+concept congest_message = std::copyable<M> && requires(const M& m) {
+    { m.bit_size() } -> std::convertible_to<std::size_t>;
+};
+
+// Messages delivered to a node this round: (arrival port, payload).
+template <congest_message Msg>
+using inbox_view = std::span<const std::pair<port_id, Msg>>;
+
+namespace detail {
+template <class P>
+class engine_access;
+}
+
+template <congest_message Msg>
+class node_ctx {
+public:
+    [[nodiscard]] std::size_t degree() const noexcept { return degree_; }
+    [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+    [[nodiscard]] xoshiro256ss& rng() noexcept { return *rng_; }
+
+    // Sends `m` through local port `p` (0-based). At most one send per
+    // port per round (CONGEST); violations throw anole::error.
+    void send(port_id p, Msg m) {
+        require(p < degree_, "node_ctx::send: port out of range");
+        send_fn_(send_env_, p, std::move(m));
+    }
+
+    // Marks this node permanently finished; it is never stepped again.
+    void halt() noexcept { halted_flag_ = true; }
+    [[nodiscard]] bool halted() const noexcept { return halted_flag_; }
+
+private:
+    template <class P>
+    friend class engine;
+
+    using send_hook = void (*)(void*, port_id, Msg&&);
+
+    std::size_t degree_ = 0;
+    std::uint64_t round_ = 0;
+    xoshiro256ss* rng_ = nullptr;
+    send_hook send_fn_ = nullptr;
+    void* send_env_ = nullptr;
+    bool halted_flag_ = false;
+};
+
+template <class P>
+class engine {
+public:
+    using message_type = typename P::message_type;
+    static_assert(congest_message<message_type>);
+
+    // The engine references (not copies) the graph; keep it alive.
+    engine(const graph& g, std::uint64_t seed, congest_budget budget = {})
+        : g_(g), budget_(budget), budget_bits_(budget.resolve(g.num_nodes())) {
+        const std::size_t n = g_.num_nodes();
+        slot_base_.resize(n + 1, 0);
+        for (node_id u = 0; u < n; ++u) slot_base_[u + 1] = slot_base_[u] + g_.degree(u);
+        sent_stamp_.assign(slot_base_[n], 0);
+        cur_in_.resize(n);
+        nxt_in_.resize(n);
+        rngs_.reserve(n);
+        for (node_id u = 0; u < n; ++u) rngs_.emplace_back(derive_seed(seed, u, 0xA0CE));
+        halted_.assign(n, 0);
+    }
+
+    engine(const engine&) = delete;
+    engine& operator=(const engine&) = delete;
+
+    // Constructs the per-node protocol instances: factory(node_index) -> P.
+    // The index is for construction-time parameters only; conforming
+    // protocols never branch on identity (see the permuted-port tests).
+    template <class Factory>
+    void spawn(Factory&& factory) {
+        require(procs_.empty(), "engine::spawn: already spawned");
+        procs_.reserve(g_.num_nodes());
+        for (node_id u = 0; u < g_.num_nodes(); ++u) {
+            procs_.push_back(factory(static_cast<std::size_t>(u)));
+        }
+    }
+
+    // --- running ---
+
+    void run_rounds(std::uint64_t k) {
+        for (std::uint64_t i = 0; i < k; ++i) step();
+    }
+
+    // Runs until every node halted; returns rounds executed. Throws if
+    // max_rounds is exceeded.
+    std::uint64_t run_until_halted(std::uint64_t max_rounds) {
+        return run_until([this] { return halted_count_ == g_.num_nodes(); }, max_rounds);
+    }
+
+    // Runs until pred() (checked before each round); returns rounds run.
+    template <class Pred>
+    std::uint64_t run_until(Pred&& pred, std::uint64_t max_rounds) {
+        std::uint64_t done = 0;
+        while (!pred()) {
+            require(done < max_rounds, "engine::run_until: exceeded max_rounds");
+            step();
+            ++done;
+        }
+        return done;
+    }
+
+    // One synchronous round.
+    void step() {
+        require(!procs_.empty(), "engine::step: spawn first");
+        const std::size_t n = g_.num_nodes();
+        round_max_frag_ = 1;
+
+        for (node_id u = 0; u < n; ++u) {
+            if (halted_[u]) continue;
+            send_env env{this, u};
+            node_ctx<message_type> ctx;
+            ctx.degree_ = g_.degree(u);
+            ctx.round_ = round_;
+            ctx.rng_ = &rngs_[u];
+            ctx.send_fn_ = &engine::send_trampoline;
+            ctx.send_env_ = &env;
+            const auto& in = cur_in_[u];
+            procs_[u].on_round(ctx, inbox_view<message_type>{in.data(), in.size()});
+            if (ctx.halted_flag_) {
+                halted_[u] = 1;
+                ++halted_count_;
+            }
+        }
+
+        // Swap staged messages in; clear previous inboxes.
+        for (node_id u = 0; u < n; ++u) cur_in_[u].clear();
+        std::swap(cur_in_, nxt_in_);
+        metrics_.count_round(round_max_frag_);
+        ++round_;
+    }
+
+    // --- observation ---
+
+    [[nodiscard]] P& node(std::size_t i) {
+        require(i < procs_.size(), "engine::node: out of range");
+        return procs_[i];
+    }
+    [[nodiscard]] const P& node(std::size_t i) const {
+        require(i < procs_.size(), "engine::node: out of range");
+        return procs_[i];
+    }
+    [[nodiscard]] std::size_t num_nodes() const noexcept { return g_.num_nodes(); }
+    [[nodiscard]] const graph& topology() const noexcept { return g_; }
+    [[nodiscard]] sim_metrics& metrics() noexcept { return metrics_; }
+    [[nodiscard]] const sim_metrics& metrics() const noexcept { return metrics_; }
+    [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+    [[nodiscard]] std::size_t halted_count() const noexcept { return halted_count_; }
+    [[nodiscard]] std::uint64_t budget_bits() const noexcept { return budget_bits_; }
+
+    void set_phase(const std::string& name) { metrics_.begin_phase(name); }
+
+private:
+    struct send_env {
+        engine* self;
+        node_id sender;
+    };
+
+    static void send_trampoline(void* env_ptr, port_id p, message_type&& m) {
+        auto* env = static_cast<send_env*>(env_ptr);
+        env->self->do_send(env->sender, p, std::move(m));
+    }
+
+    void do_send(node_id u, port_id p, message_type&& m) {
+        // One message per port per round.
+        auto& stamp = sent_stamp_[slot_base_[u] + p];
+        require(stamp != round_ + 1, "CONGEST violation: double send on port");
+        stamp = round_ + 1;
+
+        const std::size_t bits = m.bit_size();
+        const std::uint64_t frag =
+            bits == 0 ? 1 : (bits + budget_bits_ - 1) / budget_bits_;
+        if (budget_.mode == budget_mode::strict) {
+            require(frag <= 1, "CONGEST violation: message of " + std::to_string(bits) +
+                                   " bits exceeds per-round budget of " +
+                                   std::to_string(budget_bits_));
+        }
+        if (budget_.mode == budget_mode::fragment && frag > round_max_frag_) {
+            round_max_frag_ = frag;
+        }
+        metrics_.count_message(bits);
+        const node_id v = g_.neighbor(u, p);
+        const port_id q = g_.reverse_port(u, p);
+        nxt_in_[v].emplace_back(q, std::move(m));
+    }
+
+    const graph& g_;
+    congest_budget budget_;
+    std::uint64_t budget_bits_;
+    std::vector<std::size_t> slot_base_;
+    std::vector<std::uint64_t> sent_stamp_;  // round_+1 marks "sent this round"
+    std::vector<std::vector<std::pair<port_id, message_type>>> cur_in_, nxt_in_;
+    std::vector<xoshiro256ss> rngs_;
+    std::vector<P> procs_;
+    std::vector<char> halted_;
+    std::size_t halted_count_ = 0;
+    std::uint64_t round_ = 0;
+    std::uint64_t round_max_frag_ = 1;
+    sim_metrics metrics_;
+};
+
+}  // namespace anole

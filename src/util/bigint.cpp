@@ -1,0 +1,219 @@
+#include "util/bigint.h"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <cmath>
+
+namespace anole {
+
+namespace {
+constexpr std::size_t limb_bits = 64;
+}
+
+bigint bigint::from_decimal(const std::string& s) {
+    require(!s.empty(), "bigint::from_decimal: empty string");
+    bigint out;
+    for (char ch : s) {
+        require(std::isdigit(static_cast<unsigned char>(ch)) != 0,
+                "bigint::from_decimal: non-digit character");
+        out.mul_small(10);
+        out += bigint(static_cast<std::uint64_t>(ch - '0'));
+    }
+    return out;
+}
+
+bigint bigint::pow2(std::size_t k) {
+    bigint out;
+    out.limbs_.assign(k / limb_bits + 1, 0);
+    out.limbs_.back() = std::uint64_t{1} << (k % limb_bits);
+    return out;
+}
+
+std::size_t bigint::bit_length() const noexcept {
+    if (limbs_.empty()) return 0;
+    return (limbs_.size() - 1) * limb_bits +
+           (limb_bits - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
+}
+
+std::size_t bigint::trailing_zeros() const {
+    require(!is_zero(), "bigint::trailing_zeros: zero has no trailing zeros");
+    std::size_t tz = 0;
+    for (std::uint64_t limb : limbs_) {
+        if (limb == 0) {
+            tz += limb_bits;
+        } else {
+            tz += static_cast<std::size_t>(std::countr_zero(limb));
+            break;
+        }
+    }
+    return tz;
+}
+
+bool bigint::bit(std::size_t i) const noexcept {
+    const std::size_t limb = i / limb_bits;
+    if (limb >= limbs_.size()) return false;
+    return ((limbs_[limb] >> (i % limb_bits)) & 1u) != 0;
+}
+
+double bigint::to_double() const noexcept {
+    double out = 0.0;
+    for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
+        out = out * 0x1.0p64 + static_cast<double>(*it);
+    }
+    return out;
+}
+
+std::string bigint::to_decimal() const {
+    if (is_zero()) return "0";
+    bigint tmp = *this;
+    std::string out;
+    while (!tmp.is_zero()) {
+        const std::uint64_t digit = tmp.divmod_small(10);
+        out.push_back(static_cast<char>('0' + digit));
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string bigint::to_hex() const {
+    if (is_zero()) return "0x0";
+    std::string out = "0x";
+    static const char* digits = "0123456789abcdef";
+    bool leading = true;
+    for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
+        for (int shift = 60; shift >= 0; shift -= 4) {
+            const unsigned nib = static_cast<unsigned>((*it >> shift) & 0xF);
+            if (leading && nib == 0) continue;
+            leading = false;
+            out.push_back(digits[nib]);
+        }
+    }
+    return out;
+}
+
+int bigint::compare(const bigint& o) const noexcept {
+    if (limbs_.size() != o.limbs_.size())
+        return limbs_.size() < o.limbs_.size() ? -1 : 1;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        if (limbs_[i] != o.limbs_[i]) return limbs_[i] < o.limbs_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+bigint& bigint::operator+=(const bigint& o) {
+    const std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+    limbs_.resize(n, 0);
+    unsigned char carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t rhs = i < o.limbs_.size() ? o.limbs_[i] : 0;
+        const std::uint64_t a = limbs_[i];
+        const std::uint64_t sum = a + rhs + carry;
+        carry = (sum < a || (carry && sum == a)) ? 1 : 0;
+        limbs_[i] = sum;
+    }
+    if (carry) limbs_.push_back(1);
+    return *this;
+}
+
+bigint& bigint::operator-=(const bigint& o) {
+    require(compare(o) >= 0, "bigint::operator-=: would underflow (unsigned)");
+    unsigned char borrow = 0;
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const std::uint64_t rhs = i < o.limbs_.size() ? o.limbs_[i] : 0;
+        const std::uint64_t a = limbs_[i];
+        const std::uint64_t diff = a - rhs - borrow;
+        borrow = (a < rhs || (borrow && a == rhs)) ? 1 : 0;
+        limbs_[i] = diff;
+    }
+    trim();
+    return *this;
+}
+
+bigint& bigint::operator<<=(std::size_t bits) {
+    if (is_zero() || bits == 0) return *this;
+    const std::size_t limb_shift = bits / limb_bits;
+    const std::size_t bit_shift = bits % limb_bits;
+    const std::size_t old_n = limbs_.size();
+    limbs_.resize(old_n + limb_shift + 1, 0);
+    for (std::size_t i = old_n; i-- > 0;) {
+        const std::uint64_t v = limbs_[i];
+        limbs_[i] = 0;
+        if (bit_shift == 0) {
+            limbs_[i + limb_shift] |= v;
+        } else {
+            limbs_[i + limb_shift] |= v << bit_shift;
+            limbs_[i + limb_shift + 1] |= v >> (limb_bits - bit_shift);
+        }
+    }
+    trim();
+    return *this;
+}
+
+bigint& bigint::operator>>=(std::size_t bits) {
+    if (is_zero() || bits == 0) return *this;
+    const std::size_t limb_shift = bits / limb_bits;
+    const std::size_t bit_shift = bits % limb_bits;
+    if (limb_shift >= limbs_.size()) {
+        limbs_.clear();
+        return *this;
+    }
+    const std::size_t new_n = limbs_.size() - limb_shift;
+    for (std::size_t i = 0; i < new_n; ++i) {
+        std::uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+        if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+            v |= limbs_[i + limb_shift + 1] << (limb_bits - bit_shift);
+        }
+        limbs_[i] = v;
+    }
+    limbs_.resize(new_n);
+    trim();
+    return *this;
+}
+
+bigint& bigint::mul_small(std::uint64_t m) {
+    if (m == 0 || is_zero()) {
+        limbs_.clear();
+        return *this;
+    }
+    std::uint64_t carry = 0;
+    for (auto& limb : limbs_) {
+        const __uint128_t prod = static_cast<__uint128_t>(limb) * m + carry;
+        limb = static_cast<std::uint64_t>(prod);
+        carry = static_cast<std::uint64_t>(prod >> 64);
+    }
+    if (carry) limbs_.push_back(carry);
+    return *this;
+}
+
+std::uint64_t bigint::divmod_small(std::uint64_t d) {
+    require(d != 0, "bigint::divmod_small: division by zero");
+    std::uint64_t rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        const __uint128_t cur = (static_cast<__uint128_t>(rem) << 64) | limbs_[i];
+        limbs_[i] = static_cast<std::uint64_t>(cur / d);
+        rem = static_cast<std::uint64_t>(cur % d);
+    }
+    trim();
+    return rem;
+}
+
+bigint bigint::mul(const bigint& o) const {
+    if (is_zero() || o.is_zero()) return bigint{};
+    bigint out;
+    out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        std::uint64_t carry = 0;
+        for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+            const __uint128_t cur = static_cast<__uint128_t>(limbs_[i]) * o.limbs_[j] +
+                                    out.limbs_[i + j] + carry;
+            out.limbs_[i + j] = static_cast<std::uint64_t>(cur);
+            carry = static_cast<std::uint64_t>(cur >> 64);
+        }
+        out.limbs_[i + o.limbs_.size()] += carry;
+    }
+    out.trim();
+    return out;
+}
+
+}  // namespace anole

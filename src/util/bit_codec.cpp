@@ -1,0 +1,63 @@
+#include "util/bit_codec.h"
+
+#include <bit>
+
+namespace anole {
+
+namespace {
+std::size_t floor_log2(std::uint64_t v) noexcept {
+    return 63u - static_cast<std::size_t>(std::countl_zero(v));
+}
+}  // namespace
+
+void bit_writer::put_gamma(std::uint64_t v) {
+    require(v >= 1, "bit_writer::put_gamma: value must be >= 1");
+    const std::size_t len = floor_log2(v);
+    for (std::size_t i = 0; i < len; ++i) put_bit(false);  // unary prefix
+    put_bit(true);                                         // stop bit = MSB of v
+    for (std::size_t i = len; i-- > 0;) put_bit(((v >> i) & 1u) != 0);
+}
+
+void bit_writer::put_dyadic(const dyadic& d) {
+    put_gamma0(d.exponent());
+    const bigint& m = d.mantissa();
+    const std::size_t mb = m.bit_length();
+    put_gamma0(mb);
+    for (std::size_t i = mb; i-- > 0;) put_bit(m.bit(i));
+}
+
+std::uint64_t bit_reader::get_gamma() {
+    std::size_t len = 0;
+    while (!get_bit()) ++len;
+    std::uint64_t v = 1;
+    for (std::size_t i = 0; i < len; ++i) v = (v << 1) | (get_bit() ? 1u : 0u);
+    return v;
+}
+
+dyadic bit_reader::get_dyadic() {
+    const std::uint64_t exp = get_gamma0();
+    const std::uint64_t mb = get_gamma0();
+    bigint m;
+    for (std::uint64_t i = 0; i < mb; ++i) {
+        m <<= 1;
+        if (get_bit()) m += bigint(1);
+    }
+    return dyadic(std::move(m), static_cast<std::size_t>(exp));
+}
+
+std::size_t gamma_bits(std::uint64_t v) noexcept {
+    if (v == 0) return 0;  // not encodable; callers use gamma0 for 0
+    return 2 * floor_log2(v) + 1;
+}
+
+std::size_t encoded_dyadic_bits(const dyadic& d) noexcept {
+    const std::size_t mb = d.mantissa().bit_length();
+    return gamma0_bits(d.exponent()) + gamma0_bits(mb) + mb;
+}
+
+std::size_t bits_for(std::uint64_t max_value) noexcept {
+    if (max_value == 0) return 1;
+    return floor_log2(max_value) + 1;
+}
+
+}  // namespace anole

@@ -1,0 +1,77 @@
+#include "util/dyadic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bit_codec.h"
+
+namespace anole {
+
+dyadic& dyadic::operator+=(const dyadic& o) {
+    if (o.is_zero()) return *this;
+    if (is_zero()) {
+        *this = o;
+        return *this;
+    }
+    // Align to the common denominator 2^max(exp_, o.exp_).
+    const std::size_t e = std::max(exp_, o.exp_);
+    bigint a = mant_ << (e - exp_);
+    bigint b = o.mant_ << (e - o.exp_);
+    a += b;
+    mant_ = std::move(a);
+    exp_ = e;
+    normalize();
+    return *this;
+}
+
+dyadic& dyadic::operator-=(const dyadic& o) {
+    require(compare(o) >= 0, "dyadic::operator-=: would underflow (non-negative type)");
+    if (o.is_zero()) return *this;
+    const std::size_t e = std::max(exp_, o.exp_);
+    bigint a = mant_ << (e - exp_);
+    bigint b = o.mant_ << (e - o.exp_);
+    a -= b;
+    mant_ = std::move(a);
+    exp_ = e;
+    normalize();
+    return *this;
+}
+
+int dyadic::compare(const dyadic& o) const {
+    if (is_zero() && o.is_zero()) return 0;
+    if (is_zero()) return -1;
+    if (o.is_zero()) return 1;
+    // Compare m_a / 2^ea vs m_b / 2^eb  <=>  m_a << (e-ea) vs m_b << (e-eb).
+    const std::size_t e = std::max(exp_, o.exp_);
+    // Cheap pre-check on integer bit lengths to avoid shifting when the
+    // magnitudes are far apart.
+    const std::size_t la = mant_.bit_length() + (e - exp_);
+    const std::size_t lb = o.mant_.bit_length() + (e - o.exp_);
+    if (la != lb) return la < lb ? -1 : 1;
+    const bigint a = mant_ << (e - exp_);
+    const bigint b = o.mant_ << (e - o.exp_);
+    return a.compare(b);
+}
+
+double dyadic::to_double() const noexcept {
+    if (is_zero()) return 0.0;
+    // Use the top ~64 bits of the mantissa to avoid overflowing to inf for
+    // long mantissas, then scale by the adjusted exponent.
+    const std::size_t bl = mant_.bit_length();
+    if (bl <= 1000) {
+        return mant_.to_double() * std::pow(2.0, -static_cast<double>(exp_));
+    }
+    const bigint top = mant_ >> (bl - 64);
+    const double frac = top.to_double();
+    return frac * std::pow(2.0, static_cast<double>(bl - 64) - static_cast<double>(exp_));
+}
+
+std::size_t dyadic::wire_bits() const noexcept {
+    return encoded_dyadic_bits(*this);
+}
+
+std::string dyadic::to_string() const {
+    return mant_.to_decimal() + "/2^" + std::to_string(exp_);
+}
+
+}  // namespace anole

@@ -1,0 +1,30 @@
+#include "util/log.h"
+
+namespace anole {
+
+namespace {
+log_level g_level = log_level::warn;
+}
+
+log_level get_log_level() noexcept { return g_level; }
+void set_log_level(log_level lvl) noexcept { g_level = lvl; }
+
+const char* to_string(log_level lvl) noexcept {
+    switch (lvl) {
+        case log_level::trace: return "TRACE";
+        case log_level::debug: return "DEBUG";
+        case log_level::info: return "INFO";
+        case log_level::warn: return "WARN";
+        case log_level::err: return "ERROR";
+        case log_level::off: return "OFF";
+    }
+    return "?";
+}
+
+namespace detail {
+void log_emit(log_level lvl, const std::string& msg) {
+    std::cerr << "[" << to_string(lvl) << "] " << msg << "\n";
+}
+}  // namespace detail
+
+}  // namespace anole

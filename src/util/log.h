@@ -1,0 +1,55 @@
+// anole — minimal leveled logger for the experiment harness.
+//
+// Deliberately tiny: benchmarks and examples print structured tables via
+// util/table.h; the logger exists for optional progress/diagnostic chatter
+// that must be easy to silence in tests. Not thread-safe by design — the
+// simulator is single-threaded (synchronous rounds), and benches log from
+// the main thread only.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace anole {
+
+enum class log_level { trace = 0, debug = 1, info = 2, warn = 3, err = 4, off = 5 };
+
+// Global minimum level; messages below it are dropped.
+log_level get_log_level() noexcept;
+void set_log_level(log_level lvl) noexcept;
+
+const char* to_string(log_level lvl) noexcept;
+
+namespace detail {
+void log_emit(log_level lvl, const std::string& msg);
+
+class log_line {
+public:
+    log_line(log_level lvl) : lvl_(lvl), live_(lvl >= get_log_level()) {}
+    ~log_line() {
+        if (live_) log_emit(lvl_, out_.str());
+    }
+    log_line(const log_line&) = delete;
+    log_line& operator=(const log_line&) = delete;
+
+    template <class T>
+    log_line& operator<<(const T& v) {
+        if (live_) out_ << v;
+        return *this;
+    }
+
+private:
+    log_level lvl_;
+    bool live_;
+    std::ostringstream out_;
+};
+}  // namespace detail
+
+inline detail::log_line log_trace() { return detail::log_line(log_level::trace); }
+inline detail::log_line log_debug() { return detail::log_line(log_level::debug); }
+inline detail::log_line log_info() { return detail::log_line(log_level::info); }
+inline detail::log_line log_warn() { return detail::log_line(log_level::warn); }
+inline detail::log_line log_error() { return detail::log_line(log_level::err); }
+
+}  // namespace anole

@@ -1,0 +1,7 @@
+// anole — rng.h is header-only; this TU exists so the library has an
+// object to archive and to host any future out-of-line definitions.
+#include "util/rng.h"
+
+namespace anole {
+// Intentionally empty.
+}  // namespace anole

@@ -1,0 +1,100 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anole {
+
+double sample_stats::mean() const {
+    require(!xs_.empty(), "sample_stats::mean: no samples");
+    double s = 0;
+    for (double x : xs_) s += x;
+    return s / static_cast<double>(xs_.size());
+}
+
+double sample_stats::variance() const {
+    require(xs_.size() >= 2, "sample_stats::variance: need >= 2 samples");
+    const double m = mean();
+    double s = 0;
+    for (double x : xs_) s += (x - m) * (x - m);
+    return s / static_cast<double>(xs_.size() - 1);
+}
+
+double sample_stats::stddev() const { return std::sqrt(variance()); }
+
+double sample_stats::min() const {
+    require(!xs_.empty(), "sample_stats::min: no samples");
+    return *std::min_element(xs_.begin(), xs_.end());
+}
+
+double sample_stats::max() const {
+    require(!xs_.empty(), "sample_stats::max: no samples");
+    return *std::max_element(xs_.begin(), xs_.end());
+}
+
+double sample_stats::percentile(double p) const {
+    require(!xs_.empty(), "sample_stats::percentile: no samples");
+    require(p >= 0.0 && p <= 100.0, "sample_stats::percentile: p out of [0,100]");
+    std::vector<double> sorted = xs_;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted[0];
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size()) return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double fit_through_origin(std::span<const double> x, std::span<const double> y) {
+    require(x.size() == y.size() && !x.empty(),
+            "fit_through_origin: size mismatch or empty");
+    double num = 0, den = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        num += x[i] * y[i];
+        den += x[i] * x[i];
+    }
+    require(den > 0, "fit_through_origin: degenerate x");
+    return num / den;
+}
+
+linear_fit_result linear_fit(std::span<const double> x, std::span<const double> y) {
+    require(x.size() == y.size() && x.size() >= 2,
+            "linear_fit: need >= 2 equal-length samples");
+    const auto n = static_cast<double>(x.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+        syy += y[i] * y[i];
+    }
+    const double den = n * sxx - sx * sx;
+    require(std::abs(den) > 1e-12, "linear_fit: degenerate x");
+    const double b = (n * sxy - sx * sy) / den;
+    const double a = (sy - b * sx) / n;
+    double ss_res = 0;
+    const double ybar = sy / n;
+    double ss_tot = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double pred = a + b * x[i];
+        ss_res += (y[i] - pred) * (y[i] - pred);
+        ss_tot += (y[i] - ybar) * (y[i] - ybar);
+    }
+    const double r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return {a, b, r2};
+}
+
+double loglog_slope(std::span<const double> x, std::span<const double> y) {
+    require(x.size() == y.size() && x.size() >= 2,
+            "loglog_slope: need >= 2 equal-length samples");
+    std::vector<double> lx(x.size()), ly(y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        require(x[i] > 0 && y[i] > 0, "loglog_slope: inputs must be positive");
+        lx[i] = std::log(x[i]);
+        ly[i] = std::log(y[i]);
+    }
+    return linear_fit(lx, ly).slope;
+}
+
+}  // namespace anole

@@ -1,0 +1,69 @@
+// Tests for baseline/flood_max.h.
+#include "baseline/flood_max.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/properties.h"
+
+namespace anole {
+namespace {
+
+TEST(FloodMax, ElectsUniqueLeaderOnFamilies) {
+    for (auto fam : {graph_family::cycle, graph_family::torus, graph_family::star,
+                     graph_family::complete, graph_family::random_regular,
+                     graph_family::binary_tree}) {
+        graph g = make_family(fam, 48, 3);
+        const auto d = diameter_exact(g);
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            const auto r = run_flood_max(g, d, seed);
+            EXPECT_TRUE(r.success) << to_string(fam) << " seed " << seed;
+            EXPECT_EQ(r.num_leaders, 1u);
+        }
+    }
+}
+
+TEST(FloodMax, LeaderHoldsGlobalMaximum) {
+    graph g = make_torus(5, 5);
+    const auto r = run_flood_max(g, diameter_exact(g), 7);
+    ASSERT_TRUE(r.success);
+    EXPECT_GT(r.leader_id, 0u);
+}
+
+TEST(FloodMax, TimeIsDiameterPlusConstant) {
+    graph g = make_path(30);
+    const auto r = run_flood_max(g, 29, 3);
+    EXPECT_LE(r.rounds, 32u);
+    EXPECT_TRUE(r.success);
+}
+
+TEST(FloodMax, MessagesBoundedByWaves) {
+    // Change-triggered flooding: each node re-broadcasts at most once per
+    // improvement; improvements per node <= #distinct IDs on its shortest
+    // path tree, typically O(log n). Certify <= m * (small factor).
+    graph g = make_random_regular(128, 4, 5);
+    const auto r = run_flood_max(g, diameter_exact(g), 9);
+    const double per_edge = static_cast<double>(r.totals.messages) /
+                            static_cast<double>(2 * g.num_edges());
+    EXPECT_LE(per_edge, 12.0);
+    EXPECT_GE(r.totals.messages, 2 * g.num_edges());  // round 0 full wave
+}
+
+TEST(FloodMax, InsufficientDiameterFailsSometimes) {
+    // With 0 flood rounds everyone keeps their own maximum: all leaders.
+    graph g = make_cycle(16);
+    const auto r = run_flood_max(g, 0, 3);
+    EXPECT_GT(r.num_leaders, 1u);
+    EXPECT_FALSE(r.success);
+}
+
+TEST(FloodMax, Deterministic) {
+    graph g = make_torus(4, 4);
+    const auto a = run_flood_max(g, 4, 11);
+    const auto b = run_flood_max(g, 4, 11);
+    EXPECT_EQ(a.leader_id, b.leader_id);
+    EXPECT_EQ(a.totals.messages, b.totals.messages);
+}
+
+}  // namespace
+}  // namespace anole

@@ -1,0 +1,56 @@
+// Tests for graph/dot_export.h.
+#include "graph/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+
+namespace anole {
+namespace {
+
+TEST(DotExport, ContainsAllNodesAndEdges) {
+    graph g = make_cycle(5);
+    std::ostringstream os;
+    write_dot(os, g);
+    const std::string out = os.str();
+    for (int u = 0; u < 5; ++u) {
+        EXPECT_NE(out.find("n" + std::to_string(u) + " [label="), std::string::npos);
+    }
+    EXPECT_NE(out.find("n0 -- n1"), std::string::npos);
+    EXPECT_NE(out.find("n0 -- n4"), std::string::npos);
+    EXPECT_EQ(out.substr(0, 11), "graph anole");
+}
+
+TEST(DotExport, CustomLabelsAndAttrs) {
+    graph g = make_path(3);
+    dot_style style;
+    style.node_label = [](node_id u) { return "v" + std::to_string(u * 10); };
+    style.node_attrs = [](node_id u) {
+        return u == 1 ? std::string("color=red") : std::string();
+    };
+    style.edge_attrs = [](node_id u, node_id v) {
+        return u == 0 && v == 1 ? std::string("penwidth=3") : std::string();
+    };
+    std::ostringstream os;
+    write_dot(os, g, style);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("label=\"v10\""), std::string::npos);
+    EXPECT_NE(out.find("color=red"), std::string::npos);
+    EXPECT_NE(out.find("[penwidth=3]"), std::string::npos);
+}
+
+TEST(DotExport, HighlightStyle) {
+    graph g = make_star(4);
+    std::vector<bool> set{false, true, true, false};
+    const auto style = highlight_style(set, node_id{0});
+    std::ostringstream os;
+    write_dot(os, g, style);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("fillcolor=gold"), std::string::npos);
+    EXPECT_NE(out.find("fillcolor=lightblue"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anole

@@ -1,0 +1,144 @@
+// Cross-family property suite: invariants that must hold for EVERY
+// topology the generators can produce, at several sizes and seeds
+// (parameterized sweep). These are the structural contracts the
+// simulator and the protocols rely on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "graph/spectral.h"
+
+namespace anole {
+namespace {
+
+struct family_size {
+    graph_family family;
+    std::size_t n;
+    std::uint64_t seed;
+};
+
+class FamilyProperties : public ::testing::TestWithParam<family_size> {
+protected:
+    [[nodiscard]] graph build() const {
+        const auto& p = GetParam();
+        return make_family(p.family, p.n, p.seed);
+    }
+};
+
+TEST_P(FamilyProperties, HandshakeLemma) {
+    const graph g = build();
+    std::size_t degree_sum = 0;
+    for (node_id u = 0; u < g.num_nodes(); ++u) degree_sum += g.degree(u);
+    EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
+
+TEST_P(FamilyProperties, ReversePortsAreInvolutions) {
+    const graph g = build();
+    for (node_id u = 0; u < g.num_nodes(); ++u) {
+        for (port_id p = 0; p < g.degree(u); ++p) {
+            const node_id v = g.neighbor(u, p);
+            const port_id q = g.reverse_port(u, p);
+            ASSERT_EQ(g.neighbor(v, q), u);
+            ASSERT_EQ(g.reverse_port(v, q), p);
+        }
+    }
+}
+
+TEST_P(FamilyProperties, NoSelfLoopsNoParallelEdges) {
+    const graph g = build();
+    for (node_id u = 0; u < g.num_nodes(); ++u) {
+        std::set<node_id> seen;
+        for (node_id v : g.neighbors(u)) {
+            EXPECT_NE(v, u);
+            EXPECT_TRUE(seen.insert(v).second) << "parallel edge at " << u;
+        }
+    }
+}
+
+TEST_P(FamilyProperties, ConnectedByConstruction) {
+    const graph g = build();
+    const auto dist = bfs_distances(g, 0);
+    for (std::uint32_t d : dist) {
+        EXPECT_NE(d, std::numeric_limits<std::uint32_t>::max());
+    }
+}
+
+TEST_P(FamilyProperties, DiameterEstimateBracketsExact) {
+    const graph g = build();
+    const auto est = diameter_estimate(g);
+    const auto exact = diameter_exact(g);
+    EXPECT_LE(est.lower, exact);
+    EXPECT_GE(est.upper, exact);
+}
+
+TEST_P(FamilyProperties, GeneratorFactsAreConsistent) {
+    const graph g = build();
+    const auto& f = g.facts();
+    if (f.diameter) EXPECT_EQ(*f.diameter, diameter_exact(g));
+    if (g.num_nodes() <= 20) {
+        if (f.conductance) EXPECT_NEAR(*f.conductance, conductance_exact(g), 1e-9);
+        if (f.isoperimetric) {
+            EXPECT_NEAR(*f.isoperimetric, isoperimetric_exact(g), 1e-9);
+        }
+    }
+}
+
+TEST_P(FamilyProperties, PortPermutationPreservesStructure) {
+    const graph g = build();
+    const graph h = g.with_permuted_ports(12345);
+    ASSERT_EQ(h.num_nodes(), g.num_nodes());
+    ASSERT_EQ(h.num_edges(), g.num_edges());
+    for (node_id u = 0; u < g.num_nodes(); ++u) {
+        std::multiset<node_id> a, b;
+        for (port_id p = 0; p < g.degree(u); ++p) {
+            a.insert(g.neighbor(u, p));
+            b.insert(h.neighbor(u, p));
+        }
+        ASSERT_EQ(a, b);
+    }
+}
+
+TEST_P(FamilyProperties, LazyWalkStationaryIsFixedPoint) {
+    const graph g = build();
+    const auto pi = walk_stationary(g);
+    EXPECT_NEAR(std::accumulate(pi.begin(), pi.end(), 0.0), 1.0, 1e-9);
+    const auto next = walk_distribution_step(g, pi);
+    for (std::size_t i = 0; i < pi.size(); ++i) {
+        ASSERT_NEAR(next[i], pi[i], 1e-12);
+    }
+}
+
+TEST_P(FamilyProperties, SpectralRadiusBelowOne) {
+    const graph g = build();
+    const double l2 = lambda2_lazy(g);
+    EXPECT_GE(l2, 0.0);
+    EXPECT_LT(l2, 1.0);
+    // Lazy chains have spectrum in [0, 1] with λ2 >= 1/2 only possible
+    // when mixing is slow; either way the gap must be positive.
+    EXPECT_GT(1.0 - l2, 1e-9);
+}
+
+std::vector<family_size> sweep_cases() {
+    std::vector<family_size> cases;
+    for (graph_family f : all_families()) {
+        for (std::size_t n : {12u, 40u}) {
+            cases.push_back({f, n, 3});
+        }
+        cases.push_back({f, 24, 9});  // second seed
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyProperties,
+                         ::testing::ValuesIn(sweep_cases()),
+                         [](const auto& info) {
+                             return std::string(to_string(info.param.family)) +
+                                    "_n" + std::to_string(info.param.n) + "_s" +
+                                    std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace anole

@@ -1,0 +1,174 @@
+// Tests for graph/generators.h: structure, counts, degrees, analytic
+// facts, determinism, parameter validation.
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.h"
+
+namespace anole {
+namespace {
+
+TEST(Generators, Path) {
+    graph g = make_path(5);
+    EXPECT_EQ(g.num_nodes(), 5u);
+    EXPECT_EQ(g.num_edges(), 4u);
+    EXPECT_EQ(degrees(g).min, 1u);
+    EXPECT_EQ(degrees(g).max, 2u);
+    EXPECT_EQ(*g.facts().diameter, 4u);
+}
+
+TEST(Generators, Cycle) {
+    graph g = make_cycle(8);
+    EXPECT_EQ(g.num_nodes(), 8u);
+    EXPECT_EQ(g.num_edges(), 8u);
+    EXPECT_EQ(degrees(g).min, 2u);
+    EXPECT_EQ(degrees(g).max, 2u);
+    EXPECT_EQ(*g.facts().diameter, 4u);
+    EXPECT_THROW(make_cycle(2), error);
+}
+
+TEST(Generators, CycleFactsMatchExactComputation) {
+    graph g = make_cycle(8);
+    EXPECT_EQ(diameter_exact(g), *g.facts().diameter);
+    EXPECT_NEAR(conductance_exact(g), *g.facts().conductance, 1e-12);
+    EXPECT_NEAR(isoperimetric_exact(g), *g.facts().isoperimetric, 1e-12);
+}
+
+TEST(Generators, Complete) {
+    graph g = make_complete(7);
+    EXPECT_EQ(g.num_edges(), 21u);
+    EXPECT_EQ(degrees(g).min, 6u);
+    EXPECT_EQ(diameter_exact(g), 1u);
+    EXPECT_NEAR(conductance_exact(g), *g.facts().conductance, 1e-12);
+    EXPECT_NEAR(isoperimetric_exact(g), *g.facts().isoperimetric, 1e-12);
+}
+
+TEST(Generators, Star) {
+    graph g = make_star(9);
+    EXPECT_EQ(g.num_edges(), 8u);
+    EXPECT_EQ(g.degree(0), 8u);
+    EXPECT_EQ(diameter_exact(g), 2u);
+    EXPECT_NEAR(conductance_exact(g), 1.0, 1e-12);
+    EXPECT_NEAR(isoperimetric_exact(g), 1.0, 1e-12);
+}
+
+TEST(Generators, Grid) {
+    graph g = make_grid2d(3, 4);
+    EXPECT_EQ(g.num_nodes(), 12u);
+    EXPECT_EQ(g.num_edges(), 3u * 3 + 4u * 2);  // 9 horizontal + 8 vertical
+    EXPECT_EQ(diameter_exact(g), 5u);
+    EXPECT_EQ(*g.facts().diameter, 5u);
+}
+
+TEST(Generators, Torus) {
+    graph g = make_torus(4, 6);
+    EXPECT_EQ(g.num_nodes(), 24u);
+    EXPECT_EQ(g.num_edges(), 48u);  // 2 per node
+    EXPECT_EQ(degrees(g).min, 4u);
+    EXPECT_EQ(degrees(g).max, 4u);
+    EXPECT_EQ(diameter_exact(g), 5u);
+    EXPECT_EQ(*g.facts().diameter, 5u);
+    EXPECT_THROW(make_torus(2, 5), error);
+}
+
+TEST(Generators, Hypercube) {
+    graph g = make_hypercube(4);
+    EXPECT_EQ(g.num_nodes(), 16u);
+    EXPECT_EQ(g.num_edges(), 32u);
+    EXPECT_EQ(degrees(g).max, 4u);
+    EXPECT_EQ(diameter_exact(g), 4u);
+}
+
+TEST(Generators, BinaryTree) {
+    graph g = make_binary_tree(7);
+    EXPECT_EQ(g.num_edges(), 6u);
+    EXPECT_EQ(g.degree(0), 2u);   // root
+    EXPECT_EQ(g.degree(6), 1u);   // leaf
+    EXPECT_EQ(diameter_exact(g), 4u);
+}
+
+TEST(Generators, RandomRegularIsRegular) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        graph g = make_random_regular(50, 4, seed);
+        EXPECT_EQ(g.num_nodes(), 50u);
+        const auto ds = degrees(g);
+        EXPECT_EQ(ds.min, 4u);
+        EXPECT_EQ(ds.max, 4u);
+    }
+}
+
+TEST(Generators, RandomRegularDeterministic) {
+    graph a = make_random_regular(30, 4, 9);
+    graph b = make_random_regular(30, 4, 9);
+    EXPECT_EQ(a.edge_list(), b.edge_list());
+}
+
+TEST(Generators, RandomRegularValidation) {
+    EXPECT_THROW(make_random_regular(5, 3, 1), error);   // n*d odd
+    EXPECT_THROW(make_random_regular(4, 4, 1), error);   // d >= n
+}
+
+TEST(Generators, ErdosRenyiConnectedAndDeterministic) {
+    graph a = make_erdos_renyi(40, 0.3, 5);
+    graph b = make_erdos_renyi(40, 0.3, 5);
+    EXPECT_EQ(a.num_nodes(), 40u);
+    EXPECT_EQ(a.edge_list(), b.edge_list());
+    EXPECT_THROW(make_erdos_renyi(10, 0.0, 1), error);
+}
+
+TEST(Generators, ErdosRenyiTooSparseThrows) {
+    // p = tiny on 50 nodes: essentially never connected.
+    EXPECT_THROW(make_erdos_renyi(50, 0.001, 1, 5), error);
+}
+
+TEST(Generators, RingOfCliquesStructure) {
+    graph g = make_ring_of_cliques(4, 5);
+    EXPECT_EQ(g.num_nodes(), 20u);
+    // 4 cliques of C(5,2)=10 edges + 4 bridges.
+    EXPECT_EQ(g.num_edges(), 44u);
+    // Clique-internal nodes (index 2..4 of each clique) have degree 4.
+    EXPECT_EQ(g.degree(2), 4u);
+    // Gateways carry one extra edge.
+    EXPECT_EQ(g.degree(0), 5u);
+}
+
+TEST(Generators, RingOfCliquesDegenerateIsCycle) {
+    graph g = make_ring_of_cliques(5, 1);
+    EXPECT_EQ(g.num_nodes(), 5u);
+    EXPECT_EQ(g.num_edges(), 5u);
+    EXPECT_EQ(degrees(g).max, 2u);
+}
+
+TEST(Generators, Barbell) {
+    graph g = make_barbell(4);
+    EXPECT_EQ(g.num_nodes(), 8u);
+    EXPECT_EQ(g.num_edges(), 13u);  // 2*C(4,2) + bridge
+    EXPECT_EQ(diameter_exact(g), 3u);
+    // The bridge cut is the worst: conductance = 1/min Vol = 1/13.
+    EXPECT_NEAR(conductance_exact(g), 1.0 / 13.0, 1e-12);
+}
+
+TEST(Generators, Lollipop) {
+    graph g = make_lollipop(4, 3);
+    EXPECT_EQ(g.num_nodes(), 7u);
+    EXPECT_EQ(g.num_edges(), 9u);
+    EXPECT_EQ(g.degree(6), 1u);  // tail end
+}
+
+TEST(Generators, MakeFamilyApproximatesSize) {
+    for (graph_family f : all_families()) {
+        const graph g = make_family(f, 64, 3);
+        EXPECT_GE(g.num_nodes(), 16u) << to_string(f);
+        EXPECT_LE(g.num_nodes(), 144u) << to_string(f);
+    }
+}
+
+TEST(Generators, FamilyNamesUnique) {
+    std::set<std::string> names;
+    for (graph_family f : all_families()) names.insert(to_string(f));
+    EXPECT_EQ(names.size(), all_families().size());
+}
+
+}  // namespace
+}  // namespace anole

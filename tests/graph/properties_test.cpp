@@ -1,0 +1,119 @@
+// Tests for graph/properties.h: BFS, diameter, cut measures.
+#include "graph/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace anole {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+    graph g = make_path(5);
+    const auto d = bfs_distances(g, 0);
+    for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(d[i], i);
+}
+
+TEST(Bfs, DistancesOnCycleWrap) {
+    graph g = make_cycle(6);
+    const auto d = bfs_distances(g, 0);
+    EXPECT_EQ(d[3], 3u);
+    EXPECT_EQ(d[5], 1u);
+}
+
+TEST(Bfs, Eccentricity) {
+    graph g = make_path(7);
+    EXPECT_EQ(eccentricity(g, 0), 6u);
+    EXPECT_EQ(eccentricity(g, 3), 3u);
+}
+
+TEST(Diameter, ExactOnFamilies) {
+    EXPECT_EQ(diameter_exact(make_path(10)), 9u);
+    EXPECT_EQ(diameter_exact(make_cycle(10)), 5u);
+    EXPECT_EQ(diameter_exact(make_complete(10)), 1u);
+    EXPECT_EQ(diameter_exact(make_hypercube(5)), 5u);
+    EXPECT_EQ(diameter_exact(make_star(10)), 2u);
+}
+
+TEST(Diameter, EstimateBracketsExact) {
+    for (auto fam : {graph_family::torus, graph_family::binary_tree,
+                     graph_family::random_regular, graph_family::lollipop}) {
+        const graph g = make_family(fam, 49, 7);
+        const auto est = diameter_estimate(g);
+        const auto exact = diameter_exact(g);
+        EXPECT_LE(est.lower, exact) << to_string(fam);
+        EXPECT_GE(est.upper, exact) << to_string(fam);
+    }
+}
+
+TEST(Degrees, Stats) {
+    graph g = make_star(5);
+    const auto ds = degrees(g);
+    EXPECT_EQ(ds.min, 1u);
+    EXPECT_EQ(ds.max, 4u);
+    EXPECT_DOUBLE_EQ(ds.mean, 8.0 / 5.0);
+}
+
+TEST(Cuts, HandCutOnBarbell) {
+    graph g = make_barbell(4);
+    // S = first clique: boundary = 1 bridge, |S| = 4, Vol(S) = 3*3+4 = 13.
+    std::vector<bool> in_s(8, false);
+    for (int i = 0; i < 4; ++i) in_s[i] = true;
+    EXPECT_NEAR(cut_conductance(g, in_s), 1.0 / 13.0, 1e-12);
+    EXPECT_NEAR(cut_isoperimetric(g, in_s), 1.0 / 4.0, 1e-12);
+}
+
+TEST(Cuts, ComplementGivesSameValue) {
+    graph g = make_cycle(8);
+    std::vector<bool> in_s(8, false);
+    in_s[0] = in_s[1] = in_s[2] = true;
+    std::vector<bool> comp(8, true);
+    comp[0] = comp[1] = comp[2] = false;
+    EXPECT_NEAR(cut_conductance(g, in_s), cut_conductance(g, comp), 1e-12);
+    EXPECT_NEAR(cut_isoperimetric(g, in_s), cut_isoperimetric(g, comp), 1e-12);
+}
+
+TEST(Cuts, ImproperCutThrows) {
+    graph g = make_cycle(4);
+    EXPECT_THROW(cut_conductance(g, std::vector<bool>(4, false)), error);
+    EXPECT_THROW(cut_conductance(g, std::vector<bool>(4, true)), error);
+    EXPECT_THROW(cut_isoperimetric(g, std::vector<bool>(3, true)), error);
+}
+
+TEST(Cuts, ExactValuesOnKnownGraphs) {
+    // Cycle C_8: best cut = contiguous half: 2 boundary edges.
+    EXPECT_NEAR(conductance_exact(make_cycle(8)), 2.0 / 8.0, 1e-12);
+    EXPECT_NEAR(isoperimetric_exact(make_cycle(8)), 2.0 / 4.0, 1e-12);
+    // K_6: (n-s)/(n-1) at s=3 -> 3/5; i = 3.
+    EXPECT_NEAR(conductance_exact(make_complete(6)), 3.0 / 5.0, 1e-12);
+    EXPECT_NEAR(isoperimetric_exact(make_complete(6)), 3.0, 1e-12);
+    // Path P_4: cutting one end edge: 1/1 iso? min over |S|<=2:
+    // S={0}: 1/1; S={0,1}: 1/2 -> i = 1/2. Conductance: S={0,1}:
+    // boundary 1, vol 3 -> 1/3.
+    EXPECT_NEAR(conductance_exact(make_path(4)), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(isoperimetric_exact(make_path(4)), 1.0 / 2.0, 1e-12);
+}
+
+TEST(Cuts, ExactLimitedToSmallN) {
+    graph g = make_cycle(30);
+    EXPECT_THROW(conductance_exact(g), error);
+    EXPECT_THROW(isoperimetric_exact(g), error);
+}
+
+TEST(Cuts, SweepIsUpperBoundOfExact) {
+    // Sweep cuts (any embedding) can only overestimate the true minimum.
+    for (auto fam : {graph_family::cycle, graph_family::barbell,
+                     graph_family::star, graph_family::complete}) {
+        const graph g = make_family(fam, 12, 3);
+        std::vector<double> score(g.num_nodes());
+        xoshiro256ss rng(4);
+        for (auto& s : score) s = rng.uniform01();
+        EXPECT_GE(conductance_sweep(g, score) + 1e-12, conductance_exact(g))
+            << to_string(fam);
+        EXPECT_GE(isoperimetric_sweep(g, score) + 1e-12, isoperimetric_exact(g))
+            << to_string(fam);
+    }
+}
+
+}  // namespace
+}  // namespace anole

@@ -1,0 +1,145 @@
+// Tests for graph/spectral.h: lazy-walk evolution, mixing time per the
+// paper's §2 definition, eigenvalue estimation, sweep embeddings.
+#include "graph/spectral.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/generators.h"
+#include "graph/properties.h"
+
+namespace anole {
+namespace {
+
+TEST(Walk, StepPreservesMass) {
+    graph g = make_torus(4, 4);
+    std::vector<double> pi(g.num_nodes(), 0.0);
+    pi[3] = 1.0;
+    for (int r = 0; r < 50; ++r) {
+        pi = walk_distribution_step(g, pi);
+        const double mass = std::accumulate(pi.begin(), pi.end(), 0.0);
+        ASSERT_NEAR(mass, 1.0, 1e-12);
+    }
+}
+
+TEST(Walk, StepHandComputedOnPath3) {
+    // Path 0-1-2, start at node 1 (degree 2): stay 1/2, 1/4 to each end.
+    graph g = make_path(3);
+    std::vector<double> pi{0.0, 1.0, 0.0};
+    pi = walk_distribution_step(g, pi);
+    EXPECT_NEAR(pi[0], 0.25, 1e-15);
+    EXPECT_NEAR(pi[1], 0.5, 1e-15);
+    EXPECT_NEAR(pi[2], 0.25, 1e-15);
+}
+
+TEST(Walk, StationaryIsDegreeProportional) {
+    graph g = make_star(5);
+    const auto pi = walk_stationary(g);
+    EXPECT_NEAR(pi[0], 4.0 / 8.0, 1e-15);  // hub: degree 4, 2m = 8
+    EXPECT_NEAR(pi[1], 1.0 / 8.0, 1e-15);
+    EXPECT_NEAR(std::accumulate(pi.begin(), pi.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(Walk, StationaryIsFixedPoint) {
+    graph g = make_lollipop(5, 3);
+    auto pi = walk_stationary(g);
+    const auto next = walk_distribution_step(g, pi);
+    for (std::size_t i = 0; i < pi.size(); ++i) EXPECT_NEAR(next[i], pi[i], 1e-12);
+}
+
+TEST(MixingTime, GrowsWithCycleLength) {
+    mixing_time_options opt;
+    opt.exhaustive_starts = true;
+    const auto t8 = mixing_time_simulated(make_cycle(8), opt);
+    const auto t16 = mixing_time_simulated(make_cycle(16), opt);
+    const auto t32 = mixing_time_simulated(make_cycle(32), opt);
+    EXPECT_LT(t8, t16);
+    EXPECT_LT(t16, t32);
+    // Θ(n²) shape: quadrupling-ish per doubling.
+    EXPECT_GT(static_cast<double>(t32) / static_cast<double>(t16), 2.5);
+}
+
+TEST(MixingTime, CompleteGraphMixesFast) {
+    mixing_time_options opt;
+    opt.exhaustive_starts = true;
+    EXPECT_LE(mixing_time_simulated(make_complete(16), opt), 16u);
+}
+
+TEST(MixingTime, HeuristicStartsMatchExhaustiveOnCycle) {
+    // On vertex-transitive graphs every start is equivalent.
+    mixing_time_options ex;
+    ex.exhaustive_starts = true;
+    mixing_time_options heur;
+    heur.exhaustive_starts = false;
+    graph g = make_cycle(16);
+    EXPECT_EQ(mixing_time_simulated(g, ex), mixing_time_simulated(g, heur));
+}
+
+TEST(Lambda2, CompleteGraphClosedForm) {
+    // Normalized adjacency of K_n has eigenvalues {1, -1/(n-1)}, so the
+    // lazy matrix has second eigenvalue 1/2 - 1/(2(n-1)).
+    const std::size_t n = 12;
+    const double expect = 0.5 - 0.5 / static_cast<double>(n - 1);
+    EXPECT_NEAR(lambda2_lazy(make_complete(n)), expect, 1e-6);
+}
+
+TEST(Lambda2, CycleClosedForm) {
+    // Lazy cycle eigenvalues: 1/2 + cos(2πk/n)/2; second largest at k=1.
+    const std::size_t n = 16;
+    const double expect = 0.5 + 0.5 * std::cos(2.0 * M_PI / static_cast<double>(n));
+    EXPECT_NEAR(lambda2_lazy(make_cycle(n)), expect, 1e-6);
+}
+
+TEST(Lambda2, SpectralBoundDominatesSimulatedTmix) {
+    for (auto fam : {graph_family::cycle, graph_family::torus,
+                     graph_family::complete, graph_family::star}) {
+        const graph g = make_family(fam, 16, 3);
+        mixing_time_options opt;
+        opt.exhaustive_starts = true;
+        graph stripped(g.num_nodes(), g.edge_list());  // drop facts
+        EXPECT_GE(mixing_time_spectral_bound(stripped) + 1,
+                  mixing_time_simulated(stripped, opt))
+            << to_string(fam);
+    }
+}
+
+TEST(Fiedler, SweepFindsBarbellBridge) {
+    // The Fiedler embedding must expose the bridge cut exactly.
+    graph g = make_barbell(6);
+    const auto v = fiedler_vector(g);
+    EXPECT_NEAR(conductance_sweep(g, v), conductance_exact(g), 1e-9);
+}
+
+TEST(Fiedler, SweepNearExactOnRingOfCliques) {
+    graph g = make_ring_of_cliques(4, 3);
+    const auto v = fiedler_vector(g);
+    const double sweep = conductance_sweep(g, v);
+    const double exact = conductance_exact(g);
+    EXPECT_GE(sweep + 1e-12, exact);
+    EXPECT_LE(sweep, exact * 2.0);  // sweep should be a decent bound here
+}
+
+TEST(Profile, HonorsGeneratorFacts) {
+    graph g = make_cycle(32);  // has facts: diameter, Φ, i, tmix
+    const auto p = profile(g, 1);
+    EXPECT_EQ(p.diameter, 16u);
+    EXPECT_NEAR(p.conductance, 2.0 / 32.0, 1e-12);
+    EXPECT_EQ(p.mixing_time, 32u * 32u);
+    EXPECT_TRUE(p.exact_cuts);
+}
+
+TEST(Profile, ComputesWhenNoFacts) {
+    graph g(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});  // hand-built C_4
+    const auto p = profile(g, 1);
+    EXPECT_EQ(p.n, 4u);
+    EXPECT_EQ(p.m, 4u);
+    EXPECT_EQ(p.diameter, 2u);
+    EXPECT_GT(p.conductance, 0.0);
+    EXPECT_GT(p.mixing_time, 0u);
+    EXPECT_GT(p.lambda2, 0.0);
+}
+
+}  // namespace
+}  // namespace anole

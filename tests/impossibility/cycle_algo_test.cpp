@@ -1,0 +1,85 @@
+// Tests for impossibility/cycle_algo.h: the stop-by-T(n) algorithm the
+// pumping wheel pumps.
+#include "impossibility/cycle_algo.h"
+
+#include <gtest/gtest.h>
+
+#include "impossibility/pumping_wheel.h"
+
+namespace anole {
+namespace {
+
+TEST(CycleAlgo, StopTimeComposition) {
+    cycle_le_algo a(16);
+    EXPECT_EQ(a.id_bits(), 16u);                 // 4·log2(16)
+    EXPECT_EQ(a.stop_time(), 16u + 8u + 1u);     // bits + radius + settle
+    EXPECT_EQ(a.n(), 16u);
+}
+
+TEST(CycleAlgo, RejectsTinyCycles) {
+    EXPECT_THROW(cycle_le_algo(2), error);
+}
+
+TEST(CycleAlgo, ElectsUniqueLeaderOnItsCycle) {
+    for (std::size_t n : {8u, 16u, 32u, 64u}) {
+        cycle_le_algo algo(n);
+        int successes = 0;
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            cycle_machine m(algo, n);
+            m.seed_fresh(seed);
+            m.run(algo.stop_time());
+            EXPECT_EQ(m.stopped_count(), n);
+            if (m.leaders().size() == 1) ++successes;
+        }
+        EXPECT_GE(successes, 4) << n;
+    }
+}
+
+TEST(CycleAlgo, AllNodesStopExactlyAtT) {
+    cycle_le_algo algo(8);
+    cycle_machine m(algo, 8);
+    m.seed_fresh(3);
+    m.run(algo.stop_time() - 1);
+    EXPECT_EQ(m.stopped_count(), 0u);  // nobody early
+    m.run(1);
+    EXPECT_EQ(m.stopped_count(), 8u);  // everybody on time
+}
+
+TEST(CycleAlgo, DeterministicGivenTapes) {
+    cycle_le_algo algo(8);
+    cycle_machine rec(algo, 8);
+    rec.seed_recorders(7);
+    rec.run(algo.stop_time());
+    const auto tapes = rec.tapes();
+
+    cycle_machine replay(algo, 8);
+    for (std::size_t i = 0; i < 8; ++i) replay.set_tape(i, tapes[i]);
+    replay.run(algo.stop_time());
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_TRUE(replay.state(i) == rec.state(i)) << i;
+    }
+}
+
+TEST(CycleAlgo, StatesComparable) {
+    cyc_state a, b;
+    EXPECT_TRUE(a == b);
+    b.id = 1;
+    EXPECT_FALSE(a == b);
+}
+
+TEST(CycleAlgo, MaxFloodsCorrectly) {
+    // After T rounds the leader's ID must be everyone's max_seen.
+    cycle_le_algo algo(16);
+    cycle_machine m(algo, 16);
+    m.seed_fresh(5);
+    m.run(algo.stop_time());
+    const auto leaders = m.leaders();
+    ASSERT_EQ(leaders.size(), 1u);
+    const std::uint64_t lid = m.state(leaders[0]).id;
+    for (std::size_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(m.state(i).max_seen, lid) << i;
+    }
+}
+
+}  // namespace
+}  // namespace anole

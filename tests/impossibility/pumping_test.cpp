@@ -1,0 +1,97 @@
+// Tests for impossibility/pumping_wheel.h: the executable Theorem 2.
+#include "impossibility/pumping_wheel.h"
+
+#include <gtest/gtest.h>
+
+namespace anole {
+namespace {
+
+TEST(PumpingWheel, FindsWinningExecution) {
+    cycle_le_algo algo(8);
+    const auto win = find_winning_execution(algo, 3);
+    EXPECT_EQ(win.tapes.size(), 8u);
+    EXPECT_EQ(win.final_states.size(), 8u);
+    EXPECT_TRUE(win.final_states[win.leader_index].leader);
+    for (const auto& tape : win.tapes) {
+        EXPECT_EQ(tape.size(), algo.stop_time());
+    }
+    // Exactly one leader in Γ.
+    std::size_t leaders = 0;
+    for (const auto& s : win.final_states) leaders += s.leader ? 1 : 0;
+    EXPECT_EQ(leaders, 1u);
+}
+
+TEST(PumpingWheel, LayoutGeometryMatchesFigure1) {
+    cycle_le_algo algo(8);
+    const auto lay = build_witness_layout(algo, 3);
+    EXPECT_EQ(lay.n, 8u);
+    EXPECT_EQ(lay.t, algo.stop_time());
+    EXPECT_EQ(lay.witness_len, 2 * lay.t + 2 * lay.n);
+    EXPECT_EQ(lay.stride, 4 * lay.t + 2 * lay.n);
+    EXPECT_EQ(lay.big_n, 3 * lay.stride);
+    EXPECT_TRUE(lay.in_witness(0));
+    EXPECT_FALSE(lay.in_witness(lay.witness_len));
+    EXPECT_EQ(lay.core_begin(1) - lay.witness_begin(1), lay.t);
+}
+
+TEST(PumpingWheel, PumpedRunElectsTwoLeadersPerWitnessCore) {
+    for (std::size_t n : {8u, 16u}) {
+        cycle_le_algo algo(n);
+        const auto win = find_winning_execution(algo, 5);
+        for (std::size_t witnesses : {1u, 3u}) {
+            const auto res = run_pumped(algo, win, witnesses, 11);
+            EXPECT_EQ(res.witnesses_with_two, witnesses) << n;
+            EXPECT_TRUE(res.invariant_held) << n;
+            EXPECT_EQ(res.invariant_checked, witnesses * 2 * n);
+            EXPECT_GE(res.leaders_total, 2 * witnesses);
+            // Everyone on C_N stopped by T(n) believing the task done —
+            // the essence of the impossibility.
+            EXPECT_EQ(res.stopped_total, res.layout.big_n);
+        }
+    }
+}
+
+TEST(PumpingWheel, FreshTapesDoNotReproduceGamma) {
+    // Negative control: without replication the invariant check fails
+    // (fresh random IDs cannot match Γ's), though nodes still stop.
+    cycle_le_algo algo(8);
+    const auto win = find_winning_execution(algo, 5);
+    const auto lay = build_witness_layout(algo, 2);
+    cycle_machine m(algo, lay.big_n);
+    m.seed_fresh(99);
+    m.run(lay.t);
+    bool matches = true;
+    for (std::size_t q = 0; q < 2 * lay.n; ++q) {
+        const std::size_t pos = lay.core_begin(0) + q;
+        const std::size_t off = pos - lay.witness_begin(0);
+        if (!(m.state(pos) == win.final_states[off % lay.n])) matches = false;
+    }
+    EXPECT_FALSE(matches);
+}
+
+TEST(PumpingWheel, RequiredSizeIsAstronomical) {
+    cycle_le_algo algo(8);
+    const double log2n = required_cycle_size_log2(algo, 0.5);
+    // 2nT = 2·8·17 = 272 bits of tape must coincide: >> any real network.
+    EXPECT_GT(log2n, 250.0);
+    // Monotone in n.
+    cycle_le_algo bigger(16);
+    EXPECT_GT(required_cycle_size_log2(bigger, 0.5), log2n);
+    EXPECT_THROW(required_cycle_size_log2(algo, 1.5), error);
+}
+
+TEST(PumpingWheel, SeparatorsIsolateWitnesses) {
+    // With 2T-separation, witness cores behave identically whether there
+    // is one witness or many: determinism + isolation.
+    cycle_le_algo algo(8);
+    const auto win = find_winning_execution(algo, 5);
+    const auto one = run_pumped(algo, win, 1, 13);
+    const auto many = run_pumped(algo, win, 4, 13);
+    EXPECT_TRUE(one.invariant_held);
+    EXPECT_TRUE(many.invariant_held);
+    EXPECT_EQ(one.witnesses_with_two, 1u);
+    EXPECT_EQ(many.witnesses_with_two, 4u);
+}
+
+}  // namespace
+}  // namespace anole

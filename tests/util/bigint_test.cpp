@@ -1,0 +1,190 @@
+// Tests for util/bigint.h: the arbitrary-precision substrate under the
+// exact diffusion potentials.
+#include "util/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace anole {
+namespace {
+
+bigint random_bigint(xoshiro256ss& rng, std::size_t max_limbs) {
+    bigint out;
+    const std::size_t limbs = 1 + rng.below(max_limbs);
+    for (std::size_t i = 0; i < limbs; ++i) {
+        out <<= 64;
+        out += bigint(rng());
+    }
+    return out;
+}
+
+TEST(Bigint, DefaultIsZero) {
+    bigint z;
+    EXPECT_TRUE(z.is_zero());
+    EXPECT_EQ(z.bit_length(), 0u);
+    EXPECT_EQ(z.to_decimal(), "0");
+}
+
+TEST(Bigint, FromUint64) {
+    bigint v(12345);
+    EXPECT_FALSE(v.is_zero());
+    EXPECT_EQ(v.low64(), 12345u);
+    EXPECT_TRUE(v.fits64());
+    EXPECT_EQ(v.to_decimal(), "12345");
+}
+
+TEST(Bigint, Pow2) {
+    EXPECT_EQ(bigint::pow2(0).to_decimal(), "1");
+    EXPECT_EQ(bigint::pow2(10).to_decimal(), "1024");
+    EXPECT_EQ(bigint::pow2(64).bit_length(), 65u);
+    EXPECT_EQ(bigint::pow2(100).bit_length(), 101u);
+}
+
+TEST(Bigint, FromDecimalRoundTrip) {
+    const std::string s = "123456789012345678901234567890123456789";
+    EXPECT_EQ(bigint::from_decimal(s).to_decimal(), s);
+}
+
+TEST(Bigint, FromDecimalRejectsGarbage) {
+    EXPECT_THROW(bigint::from_decimal(""), error);
+    EXPECT_THROW(bigint::from_decimal("12a3"), error);
+    EXPECT_THROW(bigint::from_decimal("-5"), error);
+}
+
+TEST(Bigint, AdditionCarries) {
+    bigint a(~std::uint64_t{0});
+    a += bigint(1);
+    EXPECT_EQ(a, bigint::pow2(64));
+}
+
+TEST(Bigint, SubtractionBorrows) {
+    bigint a = bigint::pow2(64);
+    a -= bigint(1);
+    EXPECT_EQ(a, bigint(~std::uint64_t{0}));
+}
+
+TEST(Bigint, SubtractionUnderflowThrows) {
+    bigint a(5);
+    EXPECT_THROW(a -= bigint(6), error);
+}
+
+TEST(Bigint, CompareOrdering) {
+    EXPECT_LT(bigint(3), bigint(5));
+    EXPECT_GT(bigint::pow2(100), bigint::pow2(99));
+    EXPECT_EQ(bigint(7), bigint(7));
+    EXPECT_LE(bigint(7), bigint(7));
+    EXPECT_NE(bigint(7), bigint(8));
+}
+
+TEST(Bigint, ShiftRoundTrip) {
+    xoshiro256ss rng(4);
+    for (int i = 0; i < 50; ++i) {
+        const bigint a = random_bigint(rng, 4);
+        const std::size_t k = rng.below(200);
+        EXPECT_EQ((a << k) >> k, a) << "k=" << k;
+    }
+}
+
+TEST(Bigint, ShiftRightTruncates) {
+    bigint a(0b1011);
+    EXPECT_EQ(a >> 2, bigint(0b10));
+    EXPECT_EQ(a >> 64, bigint(0));
+}
+
+TEST(Bigint, AddSubRoundTrip) {
+    xoshiro256ss rng(5);
+    for (int i = 0; i < 100; ++i) {
+        const bigint a = random_bigint(rng, 5);
+        const bigint b = random_bigint(rng, 5);
+        bigint sum = a + b;
+        EXPECT_EQ(sum - b, a);
+        EXPECT_EQ(sum - a, b);
+        EXPECT_GE(sum, a);
+    }
+}
+
+TEST(Bigint, MulSmallDivmodRoundTrip) {
+    xoshiro256ss rng(6);
+    for (int i = 0; i < 100; ++i) {
+        bigint a = random_bigint(rng, 4);
+        const std::uint64_t m = 1 + rng.below(1'000'000);
+        bigint b = a;
+        b.mul_small(m);
+        EXPECT_EQ(b.divmod_small(m), 0u);
+        EXPECT_EQ(b, a);
+    }
+}
+
+TEST(Bigint, DivmodSmallRemainder) {
+    bigint a(1000);
+    EXPECT_EQ(a.divmod_small(7), 1000 % 7);
+    EXPECT_EQ(a, bigint(1000 / 7));
+    bigint z(5);
+    EXPECT_THROW(z.divmod_small(0), error);
+}
+
+TEST(Bigint, MulMatchesMulSmall) {
+    xoshiro256ss rng(8);
+    for (int i = 0; i < 50; ++i) {
+        const bigint a = random_bigint(rng, 3);
+        const std::uint64_t m = rng();
+        bigint via_small = a;
+        via_small.mul_small(m);
+        EXPECT_EQ(a.mul(bigint(m)), via_small);
+    }
+}
+
+TEST(Bigint, MulBigKnownValue) {
+    // (2^64+1)^2 = 2^128 + 2^65 + 1
+    bigint a = bigint::pow2(64) + bigint(1);
+    bigint expect = bigint::pow2(128) + bigint::pow2(65) + bigint(1);
+    EXPECT_EQ(a.mul(a), expect);
+}
+
+TEST(Bigint, BitLength) {
+    EXPECT_EQ(bigint(1).bit_length(), 1u);
+    EXPECT_EQ(bigint(2).bit_length(), 2u);
+    EXPECT_EQ(bigint(255).bit_length(), 8u);
+    EXPECT_EQ(bigint(256).bit_length(), 9u);
+}
+
+TEST(Bigint, TrailingZeros) {
+    EXPECT_EQ(bigint(1).trailing_zeros(), 0u);
+    EXPECT_EQ(bigint(8).trailing_zeros(), 3u);
+    EXPECT_EQ(bigint::pow2(100).trailing_zeros(), 100u);
+    EXPECT_THROW((void)bigint(0).trailing_zeros(), error);
+}
+
+TEST(Bigint, BitAccess) {
+    bigint a(0b1010);
+    EXPECT_FALSE(a.bit(0));
+    EXPECT_TRUE(a.bit(1));
+    EXPECT_FALSE(a.bit(2));
+    EXPECT_TRUE(a.bit(3));
+    EXPECT_FALSE(a.bit(1000));  // out of range = 0
+}
+
+TEST(Bigint, ToDouble) {
+    EXPECT_DOUBLE_EQ(bigint(12345).to_double(), 12345.0);
+    EXPECT_NEAR(bigint::pow2(100).to_double(), std::pow(2.0, 100), 1e15);
+}
+
+TEST(Bigint, ToHex) {
+    EXPECT_EQ(bigint(0).to_hex(), "0x0");
+    EXPECT_EQ(bigint(255).to_hex(), "0xff");
+    EXPECT_EQ(bigint::pow2(64).to_hex(), "0x10000000000000000");
+}
+
+TEST(Bigint, DecimalRoundTripRandom) {
+    xoshiro256ss rng(10);
+    for (int i = 0; i < 25; ++i) {
+        const bigint a = random_bigint(rng, 6);
+        EXPECT_EQ(bigint::from_decimal(a.to_decimal()), a);
+    }
+}
+
+}  // namespace
+}  // namespace anole

@@ -1,0 +1,134 @@
+// Tests for util/bit_codec.h: the wire formats CONGEST accounting uses.
+#include "util/bit_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace anole {
+namespace {
+
+TEST(BitCodec, BitRoundTrip) {
+    bit_writer w;
+    w.put_bit(true);
+    w.put_bit(false);
+    w.put_bit(true);
+    bit_reader r(w.bits());
+    EXPECT_TRUE(r.get_bit());
+    EXPECT_FALSE(r.get_bit());
+    EXPECT_TRUE(r.get_bit());
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitCodec, UintRoundTrip) {
+    bit_writer w;
+    w.put_uint(0xDEAD, 16);
+    w.put_uint(5, 3);
+    bit_reader r(w.bits());
+    EXPECT_EQ(r.get_uint(16), 0xDEADu);
+    EXPECT_EQ(r.get_uint(3), 5u);
+}
+
+TEST(BitCodec, UintWidthLimit) {
+    bit_writer w;
+    EXPECT_THROW(w.put_uint(1, 65), error);
+}
+
+TEST(BitCodec, GammaKnownEncodings) {
+    // gamma(1) = "1"
+    {
+        bit_writer w;
+        w.put_gamma(1);
+        EXPECT_EQ(w.size_bits(), 1u);
+    }
+    // gamma(2) = "010", gamma(3) = "011"
+    {
+        bit_writer w;
+        w.put_gamma(2);
+        EXPECT_EQ(w.size_bits(), 3u);
+    }
+    // gamma(4..7): 5 bits
+    {
+        bit_writer w;
+        w.put_gamma(5);
+        EXPECT_EQ(w.size_bits(), 5u);
+    }
+}
+
+TEST(BitCodec, GammaRejectsZero) {
+    bit_writer w;
+    EXPECT_THROW(w.put_gamma(0), error);
+}
+
+TEST(BitCodec, GammaRoundTripRandom) {
+    xoshiro256ss rng(2);
+    bit_writer w;
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t v = 1 + rng.below(std::uint64_t{1} << 50);
+        values.push_back(v);
+        w.put_gamma(v);
+    }
+    bit_reader r(w.bits());
+    for (std::uint64_t v : values) EXPECT_EQ(r.get_gamma(), v);
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitCodec, Gamma0HandlesZero) {
+    bit_writer w;
+    w.put_gamma0(0);
+    w.put_gamma0(41);
+    bit_reader r(w.bits());
+    EXPECT_EQ(r.get_gamma0(), 0u);
+    EXPECT_EQ(r.get_gamma0(), 41u);
+}
+
+TEST(BitCodec, GammaBitsMatchesEncoding) {
+    xoshiro256ss rng(3);
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t v = 1 + rng.below(std::uint64_t{1} << 48);
+        bit_writer w;
+        w.put_gamma(v);
+        EXPECT_EQ(w.size_bits(), gamma_bits(v)) << v;
+    }
+}
+
+TEST(BitCodec, DyadicRoundTrip) {
+    xoshiro256ss rng(4);
+    for (int i = 0; i < 50; ++i) {
+        bigint m(1 + rng.below(1'000'000));
+        const std::size_t e = rng.below(40);
+        const dyadic d(std::move(m), e);
+        bit_writer w;
+        w.put_dyadic(d);
+        EXPECT_EQ(w.size_bits(), encoded_dyadic_bits(d));
+        bit_reader r(w.bits());
+        EXPECT_EQ(r.get_dyadic(), d);
+    }
+}
+
+TEST(BitCodec, DyadicZeroRoundTrip) {
+    bit_writer w;
+    w.put_dyadic(dyadic::zero());
+    bit_reader r(w.bits());
+    EXPECT_TRUE(r.get_dyadic().is_zero());
+}
+
+TEST(BitCodec, ReaderExhaustionThrows) {
+    bit_writer w;
+    w.put_bit(true);
+    bit_reader r(w.bits());
+    (void)r.get_bit();
+    EXPECT_THROW((void)r.get_bit(), error);
+}
+
+TEST(BitCodec, BitsFor) {
+    EXPECT_EQ(bits_for(0), 1u);
+    EXPECT_EQ(bits_for(1), 1u);
+    EXPECT_EQ(bits_for(2), 2u);
+    EXPECT_EQ(bits_for(255), 8u);
+    EXPECT_EQ(bits_for(256), 9u);
+}
+
+}  // namespace
+}  // namespace anole

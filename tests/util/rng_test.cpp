@@ -1,0 +1,133 @@
+// Tests for util/rng.h: determinism, bounded sampling, Bernoulli, seeds,
+// and the tape machinery the impossibility proof depends on.
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace anole {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+    xoshiro256ss a(42), b(42);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    xoshiro256ss a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i) equal += a() == b() ? 1 : 0;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowStaysInRange) {
+    xoshiro256ss r(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+    xoshiro256ss r(7);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+    xoshiro256ss r(13);
+    std::vector<int> counts(10, 0);
+    const int samples = 100000;
+    for (int i = 0; i < samples; ++i) ++counts[r.below(10)];
+    for (int c : counts) {
+        EXPECT_GT(c, samples / 10 - 600);
+        EXPECT_LT(c, samples / 10 + 600);
+    }
+}
+
+TEST(Rng, RangeInclusive) {
+    xoshiro256ss r(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(r.range(5, 8));
+    EXPECT_EQ(seen, (std::set<std::uint64_t>{5, 6, 7, 8}));
+}
+
+TEST(Rng, Uniform01InRange) {
+    xoshiro256ss r(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform01();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliExtremes) {
+    xoshiro256ss r(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliRatioMatchesExpectation) {
+    xoshiro256ss r(17);
+    int hits = 0;
+    const int samples = 100000;
+    for (int i = 0; i < samples; ++i) hits += r.bernoulli_ratio(1, 4) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / samples, 0.25, 0.01);
+}
+
+TEST(Rng, BitIsFair) {
+    xoshiro256ss r(23);
+    int ones = 0;
+    const int samples = 100000;
+    for (int i = 0; i < samples; ++i) ones += r.bit() ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(ones) / samples, 0.5, 0.01);
+}
+
+TEST(DeriveSeed, DeterministicAndSensitive) {
+    EXPECT_EQ(derive_seed(1, 2, 3), derive_seed(1, 2, 3));
+    EXPECT_NE(derive_seed(1, 2, 3), derive_seed(1, 2, 4));
+    EXPECT_NE(derive_seed(1, 2, 3), derive_seed(1, 3, 3));
+    EXPECT_NE(derive_seed(1, 2, 3), derive_seed(2, 2, 3));
+}
+
+TEST(DeriveSeed, AdjacentCoordinatesGiveIndependentStreams) {
+    // Streams for node i and node i+1 should not correlate.
+    xoshiro256ss a(derive_seed(99, 0, 0)), b(derive_seed(99, 1, 0));
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i) equal += a() == b() ? 1 : 0;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Tape, RecorderCapturesBits) {
+    tape_recorder rec(5);
+    std::vector<bool> drawn;
+    for (int i = 0; i < 64; ++i) drawn.push_back(rec.next_bit());
+    EXPECT_EQ(rec.tape(), drawn);
+}
+
+TEST(Tape, PlayerReplaysExactly) {
+    tape_recorder rec(5);
+    for (int i = 0; i < 64; ++i) (void)rec.next_bit();
+    tape_player play(rec.tape());
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(play.next_bit(), rec.tape()[i]);
+}
+
+TEST(Tape, PlayerWrapsAround) {
+    tape_player play(std::vector<bool>{true, false, true});
+    std::vector<bool> expect = {true, false, true, true, false, true};
+    for (bool e : expect) EXPECT_EQ(play.next_bit(), e);
+}
+
+TEST(Tape, EmptyTapeThrows) {
+    EXPECT_THROW(tape_player(std::vector<bool>{}), error);
+}
+
+TEST(Tape, RngSourceDeterministic) {
+    rng_bit_source a(3), b(3);
+    for (int i = 0; i < 128; ++i) EXPECT_EQ(a.next_bit(), b.next_bit());
+}
+
+}  // namespace
+}  // namespace anole

@@ -1,0 +1,90 @@
+// Tests for util/stats.h.
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace anole {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+    sample_stats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+    EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(Stats, MinMaxMedian) {
+    sample_stats s;
+    for (double x : {3.0, 1.0, 2.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+    sample_stats s;
+    for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+}
+
+TEST(Stats, EmptyThrows) {
+    sample_stats s;
+    EXPECT_THROW(s.mean(), error);
+    EXPECT_THROW(s.min(), error);
+    EXPECT_THROW(s.percentile(50), error);
+    s.add(1.0);
+    EXPECT_THROW(s.variance(), error);  // needs >= 2
+}
+
+TEST(Stats, PercentileRangeChecked) {
+    sample_stats s;
+    s.add(1.0);
+    EXPECT_THROW(s.percentile(-1), error);
+    EXPECT_THROW(s.percentile(101), error);
+}
+
+TEST(Fits, ThroughOriginRecoversSlope) {
+    std::vector<double> x{1, 2, 3, 4}, y{2.5, 5.0, 7.5, 10.0};
+    EXPECT_NEAR(fit_through_origin(x, y), 2.5, 1e-12);
+}
+
+TEST(Fits, LinearFitRecoversLine) {
+    std::vector<double> x, y;
+    for (int i = 0; i < 20; ++i) {
+        x.push_back(i);
+        y.push_back(3.0 + 2.0 * i);
+    }
+    const auto fit = linear_fit(x, y);
+    EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(Fits, LogLogSlopeFindsExponent) {
+    std::vector<double> x, y;
+    for (double v : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+        x.push_back(v);
+        y.push_back(7.0 * v * v);  // y = 7 x^2
+    }
+    EXPECT_NEAR(loglog_slope(x, y), 2.0, 1e-9);
+}
+
+TEST(Fits, LogLogRejectsNonPositive) {
+    std::vector<double> x{1, 2}, y{0, 1};
+    EXPECT_THROW(loglog_slope(x, y), error);
+}
+
+TEST(Fits, SizeMismatchThrows) {
+    std::vector<double> x{1, 2, 3}, y{1, 2};
+    EXPECT_THROW(linear_fit(x, y), error);
+    EXPECT_THROW(fit_through_origin(x, y), error);
+}
+
+}  // namespace
+}  // namespace anole
