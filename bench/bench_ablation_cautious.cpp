@@ -9,94 +9,63 @@
 //   naive     — uncautious flood (extend on all ports, no throttle)
 #include "bench/common.h"
 
-#include <cmath>
-
-#include "core/cautious_broadcast.h"
-
 using namespace anole;
 using namespace anole::bench;
-
-namespace {
-
-struct arm_result {
-    std::size_t territory = 0;
-    std::uint64_t messages = 0;
-    std::uint64_t bits = 0;
-};
-
-arm_result run_arm(const graph& g, cb_config cfg, std::uint64_t rounds,
-                   std::uint64_t seed) {
-    engine<cautious_broadcast_node> eng(g, seed, congest_budget::strict_log(16));
-    eng.spawn([&](std::size_t u) {
-        return cautious_broadcast_node(g.degree(static_cast<node_id>(u)), u == 0,
-                                       777, cfg, rounds);
-    });
-    eng.run_until_halted(rounds + 2);
-    arm_result out;
-    out.messages = eng.metrics().total().messages;
-    out.bits = eng.metrics().total().bits;
-    for (std::size_t u = 0; u < g.num_nodes(); ++u) {
-        if (eng.node(u).exec().in_tree()) ++out.territory;
-    }
-    return out;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
     const options opt = options::parse(argc, argv);
     const std::size_t seeds = opt.seeds_or(3);
-    profile_cache profiles;
+    scenario_runner runner = opt.make_runner();
 
     std::vector<graph> graphs;
     graphs.push_back(opt.quick ? make_torus(10, 10) : make_torus(20, 20));
     if (!opt.quick) graphs.push_back(make_random_regular(400, 4, 1));
 
+    struct arm {
+        const char* name;
+        cautious_cfg cfg;
+    };
+    std::vector<arm> arms;
+    {
+        cautious_cfg prose;
+        prose.cap_x = 8.0;  // cap = max(2, ⌈8·tmix·Φ⌉)
+        arms.push_back({"prose (default)", prose});
+        cautious_cfg literal = prose;
+        literal.config.report_every_round = true;
+        arms.push_back({"literal pseudocode", literal});
+        cautious_cfg nocap;  // cap stays UINT64_MAX
+        arms.push_back({"no cap", nocap});
+        cautious_cfg naive;
+        naive.config.throttle = false;
+        naive.config.extend_all = true;
+        arms.push_back({"naive flood", naive});
+    }
+
+    std::vector<scenario> batch;
+    for (const graph& g : graphs) {
+        for (const auto& a : arms) {
+            batch.push_back(scenario{"", &g, a.cfg, 1800, seeds});
+        }
+    }
+    const auto results = runner.run_batch(batch);
+
     text_table t({"graph", "arm", "territory", "messages", "bits",
                   "msgs/territory"});
-
+    std::size_t idx = 0;
     for (const graph& g : graphs) {
-        const auto& prof = profiles.get(g);
-        const std::uint64_t cap = std::max<std::uint64_t>(
-            2, static_cast<std::uint64_t>(8.0 *
-                                          static_cast<double>(prof.mixing_time) *
-                                          prof.conductance));
-        const auto rounds = static_cast<std::uint64_t>(
-            static_cast<double>(prof.mixing_time) *
-            std::log2(static_cast<double>(prof.n)));
-
-        struct arm {
-            const char* name;
-            cb_config cfg;
-        };
-        std::vector<arm> arms;
-        {
-            cb_config prose;
-            prose.cap = cap;
-            arms.push_back({"prose (default)", prose});
-            cb_config literal = prose;
-            literal.report_every_round = true;
-            arms.push_back({"literal pseudocode", literal});
-            cb_config nocap;
-            nocap.cap = UINT64_MAX;
-            arms.push_back({"no cap", nocap});
-            cb_config naive;
-            naive.cap = UINT64_MAX;
-            naive.throttle = false;
-            naive.extend_all = true;
-            arms.push_back({"naive flood", naive});
-        }
-
-        for (const auto& [name, cfg] : arms) {
-            sample_stats terr, msgs, bits;
-            for (std::size_t s = 0; s < seeds; ++s) {
-                const auto r = run_arm(g, cfg, rounds, 1800 + s);
-                terr.add(static_cast<double>(r.territory));
-                msgs.add(static_cast<double>(r.messages));
-                bits.add(static_cast<double>(r.bits));
+        for (const auto& a : arms) {
+            const auto& res = results[idx++];
+            sample_stats terr;
+            for (const auto& run : res.runs) {
+                if (run.ok) {
+                    terr.add(static_cast<double>(
+                        std::get<cb_result>(run.detail).territory));
+                }
             }
-            t.add_row({g.name(), name, fmt_fixed(terr.mean(), 0), fmt_mean_sd(msgs),
-                       fmt_count(static_cast<std::uint64_t>(bits.mean())),
+            const sample_stats msgs = res.messages();
+            t.add_row({g.name(), a.name, fmt_fixed(terr.mean(), 0),
+                       fmt_mean_sd(msgs),
+                       fmt_count(static_cast<std::uint64_t>(res.bits().mean())),
                        fmt_fixed(msgs.mean() / std::max(terr.mean(), 1.0), 1)});
         }
     }

@@ -7,55 +7,52 @@
 // is Lemma 2's content (hitting needs both enough walks and mixed walks).
 #include "bench/common.h"
 
-#include "core/irrevocable.h"
-
 using namespace anole;
 using namespace anole::bench;
 
 int main(int argc, char** argv) {
     const options opt = options::parse(argc, argv);
     const std::size_t seeds = opt.seeds_or(opt.quick ? 4 : 6);
-    profile_cache profiles;
+    scenario_runner runner = opt.make_runner();
 
     graph g = opt.quick ? make_torus(10, 10) : make_torus(14, 14);
-    const auto& prof = profiles.get(g);
-
-    text_table t({"x_mult", "len_mult", "x", "walk len", "unique", "multi",
-                  "none", "messages"});
 
     const std::vector<double> xms = {0.1, 0.5, 1.0};
     const std::vector<double> lms = {0.05, 0.5, 1.0};
+
+    std::vector<scenario> batch;
     for (double xm : xms) {
         for (double lm : lms) {
-            irrevocable_params p;
-            p.n = prof.n;
-            p.tmix = std::max<std::uint64_t>(prof.mixing_time, 1);
-            p.phi = prof.conductance;
-            p.x_mult = xm;
-            p.walk_len_mult = lm;
-            std::size_t unique = 0, multi = 0, none = 0;
-            sample_stats msgs;
-            for (std::size_t s = 0; s < seeds; ++s) {
-                const auto r = run_irrevocable(g, p, 1900 + s);
-                msgs.add(static_cast<double>(r.totals.messages));
-                if (r.num_leaders == 1) {
-                    ++unique;
-                } else if (r.num_leaders > 1) {
-                    ++multi;
-                } else {
-                    ++none;
-                }
-            }
+            irrevocable_cfg cfg;
+            cfg.params.x_mult = xm;
+            cfg.params.walk_len_mult = lm;
+            batch.push_back(scenario{"", &g, cfg, 1900, seeds});
+        }
+    }
+    const auto results = runner.run_batch(batch);
+
+    text_table t({"x_mult", "len_mult", "x", "walk len", "unique", "multi",
+                  "none", "messages"});
+    std::size_t idx = 0;
+    for (double xm : xms) {
+        for (double lm : lms) {
+            const auto& res = results[idx++];
+            const auto oc = count_outcomes(res);
+            irrevocable_cfg cfg;
+            cfg.params.x_mult = xm;
+            cfg.params.walk_len_mult = lm;
+            const auto p = scenario_runner::fill(cfg.params, res.profile);
             t.add_row({fmt_fixed(xm, 2), fmt_fixed(lm, 2), std::to_string(p.x()),
                        std::to_string(p.walk_len()),
-                       std::to_string(unique) + "/" + std::to_string(seeds),
-                       std::to_string(multi) + "/" + std::to_string(seeds),
-                       std::to_string(none) + "/" + std::to_string(seeds),
-                       fmt_mean_sd(msgs)});
+                       std::to_string(oc.unique) + "/" + std::to_string(seeds),
+                       std::to_string(oc.multi) + "/" + std::to_string(seeds),
+                       std::to_string(oc.none) + "/" + std::to_string(seeds),
+                       fmt_mean_sd(res.messages())});
         }
     }
 
     emit(t, opt, "E12: (x, walk length) sensitivity grid on " + g.name());
+    warn_errors(results);
     std::printf("\nShape checks: the (1.0, 1.0) paper corner is reliably"
                 "\nunique; multi-leader rates rise toward the (0.1, 0.05)"
                 "\ncorner; messages scale ~ x_mult * len_mult in the walk"

@@ -7,34 +7,19 @@
 // messages/territory should stay polylog-flat), against a naive flood.
 #include "bench/common.h"
 
-#include <cmath>
-
-#include "core/cautious_broadcast.h"
-
 using namespace anole;
 using namespace anole::bench;
 
 namespace {
 
-struct cb_outcome {
-    std::size_t territory = 0;
-    std::uint64_t messages = 0;
-};
-
-cb_outcome run_once(const graph& g, cb_config cfg, std::uint64_t rounds,
-                    std::uint64_t seed) {
-    engine<cautious_broadcast_node> eng(g, seed, congest_budget::strict_log(16));
-    eng.spawn([&](std::size_t u) {
-        return cautious_broadcast_node(g.degree(static_cast<node_id>(u)), u == 0,
-                                       4242, cfg, rounds);
-    });
-    eng.run_until_halted(rounds + 2);
-    cb_outcome out;
-    out.messages = eng.metrics().total().messages;
-    for (std::size_t u = 0; u < g.num_nodes(); ++u) {
-        if (eng.node(u).exec().in_tree()) ++out.territory;
+sample_stats territories(const scenario_result& res) {
+    sample_stats s;
+    for (const auto& run : res.runs) {
+        if (run.ok) {
+            s.add(static_cast<double>(std::get<cb_result>(run.detail).territory));
+        }
     }
-    return out;
+    return s;
 }
 
 }  // namespace
@@ -42,30 +27,31 @@ cb_outcome run_once(const graph& g, cb_config cfg, std::uint64_t rounds,
 int main(int argc, char** argv) {
     const options opt = options::parse(argc, argv);
     const std::size_t seeds = opt.seeds_or(3);
-    profile_cache profiles;
+    scenario_runner runner = opt.make_runner();
 
     graph g = opt.quick ? make_torus(12, 12) : make_torus(24, 24);
-    const auto& prof = profiles.get(g);
+    const auto& prof = runner.profile_for(g);
     const double tphi = static_cast<double>(prof.mixing_time) * prof.conductance;
-    const auto rounds = static_cast<std::uint64_t>(
-        static_cast<double>(prof.mixing_time) *
-        std::log2(static_cast<double>(prof.n)));
+
+    const std::vector<std::uint64_t> xs = {1, 2, 4, 8, 16, 32};
+    std::vector<scenario> batch;
+    for (std::uint64_t x : xs) {
+        cautious_cfg cfg;
+        cfg.cap_x = static_cast<double>(x);  // cap = max(2, ⌈x·tmix·Φ⌉)
+        batch.push_back(scenario{"", &g, cfg, 1300, seeds});
+    }
+    const auto results = runner.run_batch(batch);
 
     text_table t({"x", "cap=x*tmix*phi", "territory", "terr/cap", "messages",
                   "msgs/territory"});
-    for (std::uint64_t x : {1u, 2u, 4u, 8u, 16u, 32u}) {
-        cb_config cfg;
-        cfg.cap = std::max<std::uint64_t>(
-            2, static_cast<std::uint64_t>(static_cast<double>(x) * tphi));
-        sample_stats terr, msgs;
-        for (std::size_t s = 0; s < seeds; ++s) {
-            const auto r = run_once(g, cfg, rounds, 1300 + s);
-            terr.add(static_cast<double>(r.territory));
-            msgs.add(static_cast<double>(r.messages));
-        }
-        t.add_row({std::to_string(x), std::to_string(cfg.cap),
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const auto cap = std::max<std::uint64_t>(
+            2, static_cast<std::uint64_t>(static_cast<double>(xs[i]) * tphi));
+        const sample_stats terr = territories(results[i]);
+        const sample_stats msgs = results[i].messages();
+        t.add_row({std::to_string(xs[i]), std::to_string(cap),
                    fmt_fixed(terr.mean(), 1),
-                   fmt_fixed(terr.mean() / static_cast<double>(cfg.cap), 2),
+                   fmt_fixed(terr.mean() / static_cast<double>(cap), 2),
                    fmt_mean_sd(msgs),
                    fmt_fixed(msgs.mean() / std::max(terr.mean(), 1.0), 1)});
     }
@@ -74,14 +60,21 @@ int main(int argc, char** argv) {
                      ", phi=" + fmt_fixed(prof.conductance, 4) + ")");
 
     // Naive flood comparator: reaches everyone, costs Θ(m) at least.
-    cb_config naive;
-    naive.throttle = false;
-    naive.extend_all = true;
-    const auto nf = run_once(g, naive, rounds, 1400);
+    cautious_cfg naive;
+    naive.config.throttle = false;
+    naive.config.extend_all = true;
+    const auto nf = runner.run(scenario{"", &g, naive, 1400, 1});
+    if (!nf.runs[0].ok) {
+        std::fprintf(stderr, "naive flood run failed: %s\n",
+                     nf.runs[0].error.c_str());
+        return 1;
+    }
+    const auto& nfr = std::get<cb_result>(nf.runs[0].detail);
     std::printf("\nnaive flood: territory=%zu (all %zu), messages=%llu"
                 " (>= m = %zu)\n",
-                nf.territory, g.num_nodes(),
-                static_cast<unsigned long long>(nf.messages), g.num_edges());
+                nfr.territory, g.num_nodes(),
+                static_cast<unsigned long long>(nfr.totals.messages),
+                g.num_edges());
     std::printf("Shape checks: territory tracks cap (terr/cap ~ 1); "
                 "msgs/territory stays polylog-flat as x grows (Lemma 1).\n");
     return 0;

@@ -10,8 +10,7 @@
 #include "bench/common.h"
 
 #include <cmath>
-
-#include "core/revocable.h"
+#include <map>
 
 using namespace anole;
 using namespace anole::bench;
@@ -19,21 +18,36 @@ using namespace anole::bench;
 int main(int argc, char** argv) {
     const options opt = options::parse(argc, argv);
     const std::size_t seeds = opt.seeds_or(opt.quick ? 3 : 6);
+    scenario_runner runner = opt.make_runner();
 
     std::vector<std::size_t> ns = opt.quick ? std::vector<std::size_t>{4}
                                             : std::vector<std::size_t>{3, 4, 5};
 
+    std::vector<graph> graphs;
+    std::vector<scenario> batch;
+    for (std::size_t n : ns) {
+        graphs.push_back(n == 3 ? make_path(3) : make_cycle(n));
+    }
+    for (const graph& g : graphs) {
+        revocable_cfg rc;
+        rc.params = revocable_params::paper_faithful();
+        rc.params.exact_potentials = false;
+        rc.max_rounds = 120'000'000;
+        batch.push_back(scenario{"", &g, rc, 1700, seeds});
+    }
+    const auto results = runner.run_batch(batch);
+
     text_table t({"n", "k", "K=k^2", "regime", "empty/iters", "probing/iters",
                   "chose here", "expected"});
 
-    for (std::size_t n : ns) {
-        graph g = n == 3 ? make_path(3) : make_cycle(n);
-        auto p = revocable_params::paper_faithful();
-        p.exact_potentials = false;
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+        const graph& g = graphs[i];
 
+        // Aggregate the per-estimate traces over all repetitions.
         std::map<std::uint64_t, revocable_node::estimate_trace> agg;
-        for (std::size_t s = 0; s < seeds; ++s) {
-            const auto r = run_revocable(g, p, 1700 + s, 120'000'000);
+        for (const auto& run : results[i].runs) {
+            if (!run.ok) continue;
+            const auto& r = std::get<revocable_result>(run.detail);
             for (const auto& [k, tr] : r.traces) {
                 auto& a = agg[k];
                 a.empty_iterations += tr.empty_iterations;

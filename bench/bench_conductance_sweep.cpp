@@ -8,17 +8,13 @@
 // Gilbert-style baseline pays tmix·√n — worst in the middle.
 #include "bench/common.h"
 
-#include "baseline/flood_max.h"
-#include "baseline/gilbert_le.h"
-#include "core/irrevocable.h"
-
 using namespace anole;
 using namespace anole::bench;
 
 int main(int argc, char** argv) {
     const options opt = options::parse(argc, argv);
     const std::size_t seeds = opt.seeds_or(3);
-    profile_cache profiles;
+    scenario_runner runner = opt.make_runner();
 
     // n nodes arranged as c cliques of s = n/c nodes. Long rings have
     // cycle-like tmix = Θ(c²·s²), which multiplies every protocol's round
@@ -30,30 +26,30 @@ int main(int argc, char** argv) {
         shapes = {{64, 4}, {32, 8}, {16, 16}, {8, 32}, {4, 64}};
     }
 
+    std::vector<graph> dials;
+    dials.reserve(shapes.size());
+    for (const auto& [c, s] : shapes) dials.push_back(make_ring_of_cliques(c, s));
+
+    // Three protocols per dial position, fanned out as one batch.
+    std::vector<scenario> batch;
+    for (const graph& g : dials) {
+        scenario fm{"", &g, flood_cfg{}, 800, seeds};
+        scenario ours{"", &g, irrevocable_cfg{}, 900, seeds};
+        scenario gb{"", &g, gilbert_cfg{}, 1000, seeds};
+        batch.push_back(fm);
+        batch.push_back(ours);
+        batch.push_back(gb);
+    }
+    const auto results = runner.run_batch(batch);
+
     text_table t({"cliques x size", "m", "tmix", "phi", "flood(msgs)",
                   "ours(msgs)", "gilbert(msgs)", "winner"});
-
-    for (const auto& [c, s] : shapes) {
-        graph g = make_ring_of_cliques(c, s);
-        const auto& prof = profiles.get(g);
-
-        irrevocable_params ip;
-        ip.n = prof.n;
-        ip.tmix = std::max<std::uint64_t>(prof.mixing_time, 1);
-        ip.phi = prof.conductance;
-        gilbert_params gp;
-        gp.n = prof.n;
-        gp.tmix = ip.tmix;
-
-        sample_stats fm, om, gm;
-        for (std::size_t seed = 0; seed < seeds; ++seed) {
-            fm.add(static_cast<double>(
-                run_flood_max(g, prof.diameter, 800 + seed).totals.messages));
-            om.add(static_cast<double>(
-                run_irrevocable(g, ip, 900 + seed).totals.messages));
-            gm.add(static_cast<double>(
-                run_gilbert(g, gp, 1000 + seed).totals.messages));
-        }
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+        const auto& [c, s] = shapes[i];
+        const auto& prof = results[3 * i].profile;
+        const sample_stats fm = results[3 * i].messages();
+        const sample_stats om = results[3 * i + 1].messages();
+        const sample_stats gm = results[3 * i + 2].messages();
         const char* winner = "flood";
         double best = fm.mean();
         if (om.mean() < best) {
@@ -76,25 +72,23 @@ int main(int argc, char** argv) {
 
     // E4b: the actual Ω(m)-crossover lives on *dense well-connected*
     // graphs, where m = Θ(n²) while ours pays Õ(√(n·tmix/Φ)) = Õ(n^1/2+).
-    text_table d({"graph", "m", "flood(msgs)", "ours(msgs)", "winner"});
     std::vector<std::size_t> dense_sizes =
         opt.quick ? std::vector<std::size_t>{64, 128, 256}
                   : std::vector<std::size_t>{64, 128, 256, 512};
+    std::vector<scenario> dense_batch;
     for (std::size_t n : dense_sizes) {
-        graph g = make_complete(n);
-        const auto& prof = profiles.get(g);
-        irrevocable_params ip;
-        ip.n = prof.n;
-        ip.tmix = std::max<std::uint64_t>(prof.mixing_time, 1);
-        ip.phi = prof.conductance;
-        sample_stats fm, om;
-        for (std::size_t seed = 0; seed < seeds; ++seed) {
-            fm.add(static_cast<double>(
-                run_flood_max(g, prof.diameter, 1100 + seed).totals.messages));
-            om.add(static_cast<double>(
-                run_irrevocable(g, ip, 1150 + seed).totals.messages));
-        }
-        d.add_row({g.name(), std::to_string(prof.m), fmt_mean_sd(fm),
+        family_spec spec{graph_family::complete, n, 1};
+        dense_batch.push_back(scenario{"", spec, flood_cfg{}, 1100, seeds});
+        dense_batch.push_back(scenario{"", spec, irrevocable_cfg{}, 1150, seeds});
+    }
+    const auto dense = runner.run_batch(dense_batch);
+
+    text_table d({"graph", "m", "flood(msgs)", "ours(msgs)", "winner"});
+    for (std::size_t i = 0; i < dense_sizes.size(); ++i) {
+        const sample_stats fm = dense[2 * i].messages();
+        const sample_stats om = dense[2 * i + 1].messages();
+        d.add_row({dense[2 * i].topology->name(),
+                   std::to_string(dense[2 * i].profile.m), fmt_mean_sd(fm),
                    fmt_mean_sd(om), om.mean() < fm.mean() ? "OURS" : "flood"});
     }
     emit(d, opt, "E4b: dense crossover — Theorem 1 vs the Omega(m) class");

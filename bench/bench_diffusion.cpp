@@ -60,7 +60,7 @@ diff_outcome run_diff(const graph& g, bool exact, std::size_t log2_d,
 
 int main(int argc, char** argv) {
     const options opt = options::parse(argc, argv);
-    profile_cache profiles;
+    scenario_runner runner = opt.make_runner();
 
     // (a) convergence vs Lemma 4's bound.
     {
@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
         for (const graph& g : graphs) {
             const double iso = g.num_nodes() <= 20
                                    ? isoperimetric_exact(g)
-                                   : profiles.get(g).isoperimetric;
+                                   : runner.profile_for(g).isoperimetric;
             const std::size_t log2_d = 6;  // D = 64 >= 2*deg everywhere here
             const double phi = iso / 64.0;
             const auto bound = static_cast<std::uint64_t>(std::ceil(

@@ -9,20 +9,37 @@
 // (n·i(G)/2)² per the two bounds.
 #include "bench/common.h"
 
-#include "core/revocable.h"
-#include "graph/properties.h"
-
 using namespace anole;
 using namespace anole::bench;
+
+namespace {
+
+// Revocable-specific aggregates pulled from the detailed results.
+struct rev_aggregates {
+    sample_stats revocations, nodes_chose;
+    std::uint64_t final_k = 0;
+};
+
+rev_aggregates aggregate(const scenario_result& res) {
+    rev_aggregates a;
+    for (const auto& run : res.runs) {
+        if (!run.ok) continue;
+        const auto& r = std::get<revocable_result>(run.detail);
+        a.revocations.add(static_cast<double>(r.total_revocations));
+        a.nodes_chose.add(static_cast<double>(r.nodes_chose));
+        a.final_k = std::max(a.final_k, r.final_estimate);
+    }
+    return a;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     const options opt = options::parse(argc, argv);
     const std::size_t seeds = opt.seeds_or(3);
-    profile_cache profiles;
+    scenario_runner runner = opt.make_runner();
 
     {
-        text_table t({"graph", "mode", "ok", "rounds", "congest rounds",
-                      "messages", "final k", "revocations"});
         struct cfg {
             graph g;
             bool informed;
@@ -34,35 +51,33 @@ int main(int argc, char** argv) {
             cases.push_back({make_complete(6), true});
             cases.push_back({make_path(4), true});
         }
-        for (auto& [g, informed] : cases) {
-            auto p = revocable_params::paper_faithful(
-                informed ? std::optional<double>(isoperimetric_exact(g))
-                         : std::nullopt);
-            p.exact_potentials = false;  // approx values, charged bit accounting
-            sample_stats rounds, congest, msgs, revs;
-            std::uint64_t final_k = 0;
-            int ok = 0;
-            for (std::size_t s = 0; s < seeds; ++s) {
-                const auto r = run_revocable(g, p, 1100 + s, 120'000'000);
-                ok += r.success;
-                rounds.add(static_cast<double>(r.rounds));
-                congest.add(static_cast<double>(r.congest_rounds));
-                msgs.add(static_cast<double>(r.totals.messages));
-                revs.add(static_cast<double>(r.total_revocations));
-                final_k = std::max(final_k, r.final_estimate);
-            }
-            t.add_row({g.name(), informed ? "i(G) known" : "blind",
-                       std::to_string(ok) + "/" + std::to_string(seeds),
-                       fmt_mean_sd(rounds), fmt_mean_sd(congest), fmt_mean_sd(msgs),
-                       std::to_string(final_k),
-                       fmt_fixed(revs.mean(), 1)});
+
+        std::vector<scenario> batch;
+        for (const auto& [g, informed] : cases) {
+            revocable_cfg rc;
+            rc.params = revocable_params::paper_faithful();
+            rc.params.exact_potentials = false;  // approx values, charged bits
+            rc.auto_isoperimetric = informed;    // profile i(G) is exact here
+            rc.max_rounds = 120'000'000;
+            batch.push_back(scenario{"", &g, rc, 1100, seeds});
+        }
+        const auto results = runner.run_batch(batch);
+
+        text_table t({"graph", "mode", "ok", "rounds", "congest rounds",
+                      "messages", "final k", "revocations"});
+        for (std::size_t i = 0; i < cases.size(); ++i) {
+            const auto& res = results[i];
+            const auto agg = aggregate(res);
+            t.add_row({cases[i].g.name(), cases[i].informed ? "i(G) known" : "blind",
+                       res.success_ratio(), fmt_mean_sd(res.rounds()),
+                       fmt_mean_sd(res.congest_rounds()), fmt_mean_sd(res.messages()),
+                       std::to_string(agg.final_k),
+                       fmt_fixed(agg.revocations.mean(), 1)});
         }
         emit(t, opt, "E6a: faithful paper parameters (tiny n)");
     }
 
     {
-        text_table t({"family", "n", "mode", "ok", "rounds", "messages",
-                      "revocations", "nodes chose"});
         struct row {
             graph_family family;
             std::size_t n;
@@ -77,33 +92,36 @@ int main(int argc, char** argv) {
                     {graph_family::random_regular, 32},
                     {graph_family::star, 16},      {graph_family::erdos_renyi, 32}};
         }
+
+        std::vector<scenario> batch;
         for (const auto& [fam, n] : plan) {
-            graph g = make_family(fam, n, 3);
-            const auto& prof = profiles.get(g);
             for (int informed = 0; informed < 2; ++informed) {
-                auto p = revocable_params::scaled(
-                    informed ? std::optional<double>(prof.isoperimetric)
-                             : std::nullopt,
-                    0.02, 0.12);
+                revocable_cfg rc;
+                rc.params = revocable_params::scaled(std::nullopt, 0.02, 0.12);
                 // A scaled run that never certifies would climb the k
                 // ladder forever (each estimate ~100x dearer): cap it so
                 // failures are reported, not waited for.
-                p.k_cap = 64;
-                sample_stats rounds, msgs, revs, chose;
-                int ok = 0;
-                for (std::size_t s = 0; s < seeds; ++s) {
-                    const auto r = run_revocable(g, p, 1200 + s, 30'000'000);
-                    ok += r.success;
-                    rounds.add(static_cast<double>(r.rounds));
-                    msgs.add(static_cast<double>(r.totals.messages));
-                    revs.add(static_cast<double>(r.total_revocations));
-                    chose.add(static_cast<double>(r.nodes_chose));
-                }
-                t.add_row({to_string(fam), std::to_string(g.num_nodes()),
-                           informed ? "i(G)" : "blind",
-                           std::to_string(ok) + "/" + std::to_string(seeds),
-                           fmt_mean_sd(rounds), fmt_mean_sd(msgs),
-                           fmt_fixed(revs.mean(), 1), fmt_fixed(chose.mean(), 1)});
+                rc.params.k_cap = 64;
+                rc.auto_isoperimetric = informed != 0;
+                batch.push_back(
+                    scenario{"", family_spec{fam, n, 3}, rc, 1200, seeds});
+            }
+        }
+        const auto results = runner.run_batch(batch);
+
+        text_table t({"family", "n", "mode", "ok", "rounds", "messages",
+                      "revocations", "nodes chose"});
+        std::size_t idx = 0;
+        for (const auto& [fam, n] : plan) {
+            (void)n;
+            for (int informed = 0; informed < 2; ++informed) {
+                const auto& res = results[idx++];
+                const auto agg = aggregate(res);
+                t.add_row({to_string(fam), std::to_string(res.profile.n),
+                           informed ? "i(G)" : "blind", res.success_ratio(),
+                           fmt_mean_sd(res.rounds()), fmt_mean_sd(res.messages()),
+                           fmt_fixed(agg.revocations.mean(), 1),
+                           fmt_fixed(agg.nodes_chose.mean(), 1)});
             }
         }
         emit(t, opt, "E6b: scaled policy across families (substituted lengths)");

@@ -10,16 +10,13 @@
 
 #include <cmath>
 
-#include "baseline/gilbert_le.h"
-#include "core/irrevocable.h"
-
 using namespace anole;
 using namespace anole::bench;
 
 int main(int argc, char** argv) {
     const options opt = options::parse(argc, argv);
     const std::size_t seeds = opt.seeds_or(3);
-    profile_cache profiles;
+    scenario_runner runner = opt.make_runner();
 
     struct series {
         graph_family family;
@@ -34,42 +31,39 @@ int main(int argc, char** argv) {
         plan.push_back({graph_family::torus, {64, 144, 256, 400}});
     }
 
+    // Two scenarios (ours, gilbert) per (family, n), one flat batch.
+    std::vector<scenario> batch;
+    for (const auto& [fam, sizes] : plan) {
+        for (std::size_t n : sizes) {
+            family_spec spec{fam, n, 1};
+            batch.push_back(scenario{"", spec, irrevocable_cfg{}, 500, seeds});
+            batch.push_back(scenario{"", spec, gilbert_cfg{}, 600, seeds});
+        }
+    }
+    const auto results = runner.run_batch(batch);
+
     text_table t({"family", "n", "tmix", "phi", "ours(msgs)", "gilbert(msgs)",
                   "improvement", "sqrt(tmix*phi)", "ours ok", "gb ok"});
 
+    std::size_t idx = 0;
     for (const auto& [fam, sizes] : plan) {
         std::vector<double> xs, ours_yc, gb_yc;
         for (std::size_t n : sizes) {
-            graph g = make_family(fam, n, 1);
-            const auto& prof = profiles.get(g);
-
-            irrevocable_params ip;
-            ip.n = prof.n;
-            ip.tmix = std::max<std::uint64_t>(prof.mixing_time, 1);
-            ip.phi = prof.conductance;
-            gilbert_params gp;
-            gp.n = prof.n;
-            gp.tmix = ip.tmix;
-
-            sample_stats om, gm;
-            int ook = 0, gok = 0;
-            for (std::size_t s = 0; s < seeds; ++s) {
-                const auto ir = run_irrevocable(g, ip, 500 + s);
-                om.add(static_cast<double>(ir.totals.messages));
-                ook += ir.success;
-                const auto gr = run_gilbert(g, gp, 600 + s);
-                gm.add(static_cast<double>(gr.totals.messages));
-                gok += gr.success;
-            }
+            (void)n;
+            const auto& ours = results[idx++];
+            const auto& gb = results[idx++];
+            const auto& prof = ours.profile;
+            const sample_stats om = ours.messages();
+            const sample_stats gm = gb.messages();
+            const auto tmix = std::max<std::uint64_t>(prof.mixing_time, 1);
             const double factor = gm.mean() / om.mean();
             const double theory =
-                std::sqrt(static_cast<double>(ip.tmix) * ip.phi);
+                std::sqrt(static_cast<double>(tmix) * prof.conductance);
             t.add_row({to_string(fam), std::to_string(prof.n),
                        std::to_string(prof.mixing_time),
                        fmt_fixed(prof.conductance, 4), fmt_mean_sd(om),
                        fmt_mean_sd(gm), fmt_ratio(factor), fmt_fixed(theory, 2),
-                       std::to_string(ook) + "/" + std::to_string(seeds),
-                       std::to_string(gok) + "/" + std::to_string(seeds)});
+                       ours.success_ratio(), gb.success_ratio()});
             xs.push_back(static_cast<double>(prof.n));
             ours_yc.push_back(om.mean());
             gb_yc.push_back(gm.mean());

@@ -7,14 +7,12 @@
 
 #include <cmath>
 
-#include "core/irrevocable.h"
-
 using namespace anole;
 using namespace anole::bench;
 
 int main(int argc, char** argv) {
     const options opt = options::parse(argc, argv);
-    profile_cache profiles;
+    scenario_runner runner = opt.make_runner();
 
     struct row {
         graph_family family;
@@ -38,25 +36,29 @@ int main(int argc, char** argv) {
                 {graph_family::complete, 128}};
     }
 
+    std::vector<scenario> batch;
+    for (const auto& [fam, n] : plan) {
+        batch.push_back(
+            scenario{"", family_spec{fam, n, 1}, irrevocable_cfg{}, 700, 1});
+    }
+    const auto results = runner.run_batch(batch);
+
     text_table t({"family", "n", "tmix", "rounds", "tmix*log2(n)^2", "ratio"});
     std::vector<double> predictor, measured;
 
-    for (const auto& [fam, n] : plan) {
-        graph g = make_family(fam, n, 1);
-        const auto& prof = profiles.get(g);
-        irrevocable_params p;
-        p.n = prof.n;
-        p.tmix = std::max<std::uint64_t>(prof.mixing_time, 1);
-        p.phi = prof.conductance;
-        const auto r = run_irrevocable(g, p, 700);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        const auto& res = results[i];
+        const auto& prof = res.profile;
+        const auto tmix = std::max<std::uint64_t>(prof.mixing_time, 1);
+        const std::uint64_t rounds = res.runs[0].rounds();
         const double logn = std::log2(static_cast<double>(prof.n));
-        const double pred = static_cast<double>(p.tmix) * logn * logn;
-        t.add_row({to_string(fam), std::to_string(prof.n),
+        const double pred = static_cast<double>(tmix) * logn * logn;
+        t.add_row({to_string(plan[i].family), std::to_string(prof.n),
                    std::to_string(prof.mixing_time),
-                   fmt_count(r.rounds), fmt_count(static_cast<std::uint64_t>(pred)),
-                   fmt_fixed(static_cast<double>(r.rounds) / pred, 2)});
+                   fmt_count(rounds), fmt_count(static_cast<std::uint64_t>(pred)),
+                   fmt_fixed(static_cast<double>(rounds) / pred, 2)});
         predictor.push_back(pred);
-        measured.push_back(static_cast<double>(r.rounds));
+        measured.push_back(static_cast<double>(rounds));
     }
 
     emit(t, opt, "E3: rounds vs tmix*log^2(n) (Theorem 1 time)");

@@ -16,19 +16,13 @@
 
 #include <cmath>
 
-#include "baseline/flood_max.h"
-#include "baseline/gilbert_le.h"
-#include "core/irrevocable.h"
-#include "core/revocable.h"
-#include "graph/properties.h"
-
 using namespace anole;
 using namespace anole::bench;
 
 int main(int argc, char** argv) {
     const options opt = options::parse(argc, argv);
     const std::size_t seeds = opt.seeds_or(3);
-    profile_cache profiles;
+    scenario_runner runner = opt.make_runner();
 
     std::vector<graph> graphs;
     if (opt.quick) {
@@ -44,101 +38,108 @@ int main(int argc, char** argv) {
         graphs.push_back(make_cycle(64));
     }
 
-    text_table t({"graph", "n", "m", "tmix", "phi", "row", "knows", "claimed",
-                  "messages", "rounds", "ok", "msg/claim"});
+    // Row metadata carried alongside each scenario, in batch order.
+    struct row_info {
+        const char* row;
+        const char* knows;
+        const char* claimed;
+        // Predicted message count for the measured/predicted column; the
+        // profile is only known after the batch ran, so this is a
+        // function of it. 0 = no prediction.
+        double (*predicted)(const graph_profile&);
+    };
+    std::vector<scenario> batch;
+    std::vector<row_info> info;
+
+    const auto add = [&](const graph& g, algo_config cfg, row_info ri) {
+        scenario s;
+        s.topology = &g;
+        s.algo = std::move(cfg);
+        s.repetitions = seeds;
+        batch.push_back(std::move(s));
+        info.push_back(ri);
+    };
 
     for (const graph& g : graphs) {
-        const auto& prof = profiles.get(g);
-        const auto n = static_cast<double>(prof.n);
-        const double logn = std::log2(n);
-        const auto add_row = [&](const char* row, const char* knows,
-                                 const char* claimed, const sample_stats& msgs,
-                                 const sample_stats& rounds, int ok, double predicted) {
-            t.add_row({g.name(), std::to_string(prof.n), std::to_string(prof.m),
-                       std::to_string(prof.mixing_time), fmt_fixed(prof.conductance, 4),
-                       row, knows, claimed, fmt_mean_sd(msgs),
-                       fmt_count(static_cast<std::uint64_t>(rounds.mean())),
-                       std::to_string(ok) + "/" + std::to_string(seeds),
-                       predicted > 0 ? fmt_fixed(msgs.mean() / predicted, 2) : "-"});
-        };
+        // Row A: flood-max. Row B: this paper, irrevocable. Row C:
+        // Gilbert-style walks. Model inputs (n, D, tmix, Φ) are filled in
+        // by the runner from the measured profile.
+        add(g, flood_cfg{}, {"A", "n,D", "O(m)", [](const graph_profile& p) {
+                                return static_cast<double>(p.m);
+                            }});
+        add(g, irrevocable_cfg{},
+            {"B", "n,phi,tmix", "O~(sqrt(n tmix/phi))", [](const graph_profile& p) {
+                 return std::sqrt(static_cast<double>(p.n) *
+                                  static_cast<double>(
+                                      std::max<std::uint64_t>(p.mixing_time, 1)) /
+                                  p.conductance);
+             }});
+        add(g, gilbert_cfg{},
+            {"C", "n", "O(tmix sqrt(n) log^3.5 n)", [](const graph_profile& p) {
+                 return static_cast<double>(std::max<std::uint64_t>(p.mixing_time, 1)) *
+                        std::sqrt(static_cast<double>(p.n)) *
+                        std::pow(std::log2(static_cast<double>(p.n)), 3.5);
+             }});
+    }
+    // Seed bases match the historical per-row values (A: 100+s, ...).
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i].seed = 100 * (1 + i % 3);
+    }
 
-        // Row A: flood-max.
-        {
-            sample_stats msgs, rounds;
-            int ok = 0;
-            for (std::size_t s = 0; s < seeds; ++s) {
-                const auto r = run_flood_max(g, prof.diameter, 100 + s);
-                msgs.add(static_cast<double>(r.totals.messages));
-                rounds.add(static_cast<double>(r.rounds));
-                ok += r.success;
-            }
-            add_row("A", "n,D", "O(m)", msgs, rounds, ok,
-                    static_cast<double>(prof.m));
-        }
-        // Row B: this paper, irrevocable.
-        {
-            irrevocable_params p;
-            p.n = prof.n;
-            p.tmix = std::max<std::uint64_t>(prof.mixing_time, 1);
-            p.phi = prof.conductance;
-            sample_stats msgs, rounds;
-            int ok = 0;
-            for (std::size_t s = 0; s < seeds; ++s) {
-                const auto r = run_irrevocable(g, p, 200 + s);
-                msgs.add(static_cast<double>(r.totals.messages));
-                rounds.add(static_cast<double>(r.rounds));
-                ok += r.success;
-            }
-            const double predicted =
-                std::sqrt(n * static_cast<double>(p.tmix) / p.phi);
-            add_row("B", "n,phi,tmix", "O~(sqrt(n tmix/phi))", msgs, rounds, ok,
-                    predicted);
-        }
-        // Row C: Gilbert et al. style.
-        {
-            gilbert_params p;
-            p.n = prof.n;
-            p.tmix = std::max<std::uint64_t>(prof.mixing_time, 1);
-            sample_stats msgs, rounds;
-            int ok = 0;
-            for (std::size_t s = 0; s < seeds; ++s) {
-                const auto r = run_gilbert(g, p, 300 + s);
-                msgs.add(static_cast<double>(r.totals.messages));
-                rounds.add(static_cast<double>(r.rounds));
-                ok += r.success;
-            }
-            const double predicted = static_cast<double>(p.tmix) * std::sqrt(n) *
-                                     std::pow(logn, 3.5);
-            add_row("C", "n", "O(tmix sqrt(n) log^3.5 n)", msgs, rounds, ok,
-                    predicted);
-        }
-        // Rows D/E: revocable (scaled policy; see DESIGN.md substitutions)
-        // only on one small well-connected graph — poly(n)·m message
-        // volume is intrinsic (Theorem 3's content), and blind-mode
-        // diffusion additionally grows with 1/i_eff² (Corollary 1). The
-        // dedicated sweep is bench_revocable.
-        if (!opt.quick && prof.n <= 64 && prof.conductance > 0.05) {
-            // (rows D/E are skipped in --quick: bench_revocable is their
-            // dedicated, budget-controlled harness)
+    // The A-C batch profiles every distinct graph in parallel (the
+    // expensive spectral + mixing step) before fanning the runs out.
+    auto results = runner.run_batch(batch);
+
+    // Rows D/E: revocable (scaled policy; see DESIGN.md substitutions)
+    // only on small well-connected graphs — poly(n)·m message volume is
+    // intrinsic (Theorem 3's content), and blind-mode diffusion
+    // additionally grows with 1/i_eff² (Corollary 1). The dedicated sweep
+    // is bench_revocable. Eligibility reads the profiles the first batch
+    // already computed (3 rows per graph, so graph i sits at results[3i]).
+    std::vector<scenario> de_batch;
+    std::vector<row_info> de_info;
+    if (!opt.quick) {
+        for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+            const auto& prof = results[3 * gi].profile;
+            if (prof.n > 64 || prof.conductance <= 0.05) continue;
             for (int informed = 0; informed < 2; ++informed) {
-                std::optional<double> iso;
-                if (informed) iso = prof.isoperimetric;
-                auto p = revocable_params::scaled(iso, 0.02, 0.12);
-                p.k_cap = 32;
-                sample_stats msgs, rounds;
-                int ok = 0;
-                for (std::size_t s = 0; s < seeds; ++s) {
-                    const auto r = run_revocable(g, p, 400 + s, 30'000'000);
-                    msgs.add(static_cast<double>(r.totals.messages));
-                    rounds.add(static_cast<double>(r.rounds));
-                    ok += r.success;
-                }
-                add_row(informed ? "E" : "D", informed ? "i(G)" : "-",
-                        informed ? "O~(n^4(1+e)/i^2 m) scaled"
-                                 : "O~(n^4(2+e) m) scaled",
-                        msgs, rounds, ok, 0.0);
+                revocable_cfg rc;
+                rc.params = revocable_params::scaled(std::nullopt, 0.02, 0.12);
+                rc.params.k_cap = 32;
+                rc.auto_isoperimetric = informed != 0;
+                scenario s;
+                s.topology = &graphs[gi];
+                s.algo = rc;
+                s.seed = 400;
+                s.repetitions = seeds;
+                de_batch.push_back(std::move(s));
+                de_info.push_back({informed ? "E" : "D", informed ? "i(G)" : "-",
+                                   informed ? "O~(n^4(1+e)/i^2 m) scaled"
+                                            : "O~(n^4(2+e) m) scaled",
+                                   nullptr});
             }
         }
+    }
+    auto de_results = runner.run_batch(de_batch);
+    results.insert(results.end(), std::make_move_iterator(de_results.begin()),
+                   std::make_move_iterator(de_results.end()));
+    info.insert(info.end(), de_info.begin(), de_info.end());
+
+    text_table t({"graph", "n", "m", "tmix", "phi", "row", "knows", "claimed",
+                  "messages", "rounds", "ok", "msg/claim"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& res = results[i];
+        const auto& ri = info[i];
+        const double predicted = ri.predicted ? ri.predicted(res.profile) : 0.0;
+        const auto msgs = res.messages();
+        t.add_row({res.topology->name(), std::to_string(res.profile.n),
+                   std::to_string(res.profile.m),
+                   std::to_string(res.profile.mixing_time),
+                   fmt_fixed(res.profile.conductance, 4), ri.row, ri.knows,
+                   ri.claimed, fmt_mean_sd(msgs),
+                   fmt_count(static_cast<std::uint64_t>(res.rounds().mean())),
+                   res.success_ratio(),
+                   predicted > 0 ? fmt_fixed(msgs.mean() / predicted, 2) : "-"});
     }
 
     emit(t, opt, "Table 1 (measured): randomized implicit LE, CONGEST");

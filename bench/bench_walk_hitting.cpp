@@ -7,15 +7,13 @@
 // provisioned walks miss territories, the paper's x saturates success.
 #include "bench/common.h"
 
-#include "core/irrevocable.h"
-
 using namespace anole;
 using namespace anole::bench;
 
 int main(int argc, char** argv) {
     const options opt = options::parse(argc, argv);
     const std::size_t seeds = opt.seeds_or(8);
-    profile_cache profiles;
+    scenario_runner runner = opt.make_runner();
 
     std::vector<graph> graphs;
     graphs.push_back(opt.quick ? make_torus(10, 10) : make_torus(16, 16));
@@ -24,9 +22,6 @@ int main(int argc, char** argv) {
         graphs.push_back(make_random_regular(512, 4, 1));
         graphs.push_back(make_hypercube(8));
     }
-
-    text_table t({"graph", "regime", "x_mult", "x(walks)", "unique leader",
-                  "multi leader", "no leader"});
 
     // Two regimes: the paper's own candidate density (overlapping
     // territories cover for missing walks at these scales — the bench's
@@ -40,39 +35,48 @@ int main(int argc, char** argv) {
     };
     const std::vector<regime> regimes = {{"paper", 1.0, 1.0},
                                          {"stressed", 0.5, 0.05}};
+    const std::vector<double> mults = {0.05, 0.25, 1.0, 2.0};
 
+    std::vector<scenario> batch;
     for (const graph& g : graphs) {
-        const auto& prof = profiles.get(g);
+        for (const auto& r : regimes) {
+            for (double mult : mults) {
+                irrevocable_cfg cfg;
+                cfg.params.x_mult = mult;
+                cfg.params.cand_c = r.cand_c;
+                cfg.params.walk_len_mult = r.len_mult;
+                batch.push_back(scenario{"", &g, cfg, 1500, seeds});
+            }
+        }
+    }
+    const auto results = runner.run_batch(batch);
+
+    text_table t({"graph", "regime", "x_mult", "x(walks)", "unique leader",
+                  "multi leader", "no leader"});
+    std::size_t idx = 0;
+    for (const graph& g : graphs) {
         for (const auto& [rname, cand_c, len_mult] : regimes) {
-            for (double mult : {0.05, 0.25, 1.0, 2.0}) {
-                irrevocable_params p;
-                p.n = prof.n;
-                p.tmix = std::max<std::uint64_t>(prof.mixing_time, 1);
-                p.phi = prof.conductance;
-                p.x_mult = mult;
-                p.cand_c = cand_c;
-                p.walk_len_mult = len_mult;
-                std::size_t unique = 0, multi = 0, none = 0;
-                for (std::size_t s = 0; s < seeds; ++s) {
-                    const auto r = run_irrevocable(g, p, 1500 + s);
-                    if (r.num_leaders == 1) {
-                        ++unique;
-                    } else if (r.num_leaders > 1) {
-                        ++multi;
-                    } else {
-                        ++none;
-                    }
-                }
+            for (double mult : mults) {
+                const auto& res = results[idx++];
+                const auto oc = count_outcomes(res);
+                // The provisioned walk count, from the same auto-filled
+                // params the runs used.
+                irrevocable_cfg cfg;
+                cfg.params.x_mult = mult;
+                cfg.params.cand_c = cand_c;
+                cfg.params.walk_len_mult = len_mult;
+                const auto p = scenario_runner::fill(cfg.params, res.profile);
                 t.add_row({g.name(), rname, fmt_fixed(mult, 2),
                            std::to_string(p.x()),
-                           std::to_string(unique) + "/" + std::to_string(seeds),
-                           std::to_string(multi) + "/" + std::to_string(seeds),
-                           std::to_string(none) + "/" + std::to_string(seeds)});
+                           std::to_string(oc.unique) + "/" + std::to_string(seeds),
+                           std::to_string(oc.multi) + "/" + std::to_string(seeds),
+                           std::to_string(oc.none) + "/" + std::to_string(seeds)});
             }
         }
     }
 
     emit(t, opt, "E8: walk provisioning vs election outcome (Lemma 2)");
+    warn_errors(results);
     std::printf("\nShape checks: in the paper regime even tiny x succeeds —"
                 "\noverlapping territories plus the convergecast give a large"
                 "\nsafety margin at these scales. In the stressed regime"

@@ -5,21 +5,26 @@
 //   --quick      smaller sweep (CI)
 //   --full       larger sweep (takes minutes)
 //   --csv        append machine-readable CSV after each table
+//   --json       append one JSON object per table (the BENCH_*.json
+//                trajectory schema; see docs/BENCHMARKS.md)
 //   --seeds N    repetitions per configuration (default 3-5 per bench)
+//   --jobs N     worker threads for the scenario sweep (default: all cores)
 //
-// Results are deterministic in the seed set. EXPERIMENTS.md records the
-// default-mode outputs.
+// Results are deterministic in the seed set — the ScenarioRunner
+// (src/sim/runner.h) derives every repetition's randomness from
+// scenario.seed + r, so --jobs only changes wall-clock time, never
+// numbers. EXPERIMENTS.md records the default-mode outputs.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "graph/generators.h"
 #include "graph/spectral.h"
+#include "sim/runner.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -29,9 +34,31 @@ struct options {
     bool quick = false;
     bool full = false;
     bool csv = false;
+    bool json = false;
     std::size_t seeds = 0;  // 0 = bench default
+    std::size_t jobs = 0;   // 0 = hardware concurrency
 
     static options parse(int argc, char** argv) {
+        const auto parse_count = [&](int& i, const char* flag) -> std::size_t {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s requires a value\n", flag);
+                std::exit(2);
+            }
+            const std::string v = argv[++i];
+            std::size_t pos = 0;
+            unsigned long parsed = 0;
+            try {
+                parsed = std::stoul(v, &pos);
+            } catch (const std::exception&) {
+                pos = 0;
+            }
+            if (pos != v.size()) {
+                std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
+                             flag, v.c_str());
+                std::exit(2);
+            }
+            return static_cast<std::size_t>(parsed);
+        };
         options o;
         for (int i = 1; i < argc; ++i) {
             const std::string a = argv[i];
@@ -41,12 +68,20 @@ struct options {
                 o.full = true;
             } else if (a == "--csv") {
                 o.csv = true;
-            } else if (a == "--seeds" && i + 1 < argc) {
-                o.seeds = static_cast<std::size_t>(std::stoul(argv[++i]));
+            } else if (a == "--json") {
+                o.json = true;
+            } else if (a == "--seeds") {
+                o.seeds = parse_count(i, "--seeds");
+            } else if (a == "--jobs") {
+                o.jobs = parse_count(i, "--jobs");
             } else if (a == "--help" || a == "-h") {
-                std::printf(
-                    "flags: --quick | --full | --csv | --seeds N\n");
+                std::printf("flags: --quick | --full | --csv | --json |"
+                            " --seeds N | --jobs N\n");
                 std::exit(0);
+            } else {
+                std::fprintf(stderr, "error: unknown flag '%s' (try --help)\n",
+                             a.c_str());
+                std::exit(2);
             }
         }
         return o;
@@ -55,22 +90,11 @@ struct options {
     [[nodiscard]] std::size_t seeds_or(std::size_t dflt) const {
         return seeds == 0 ? dflt : seeds;
     }
-};
 
-// Profiles are expensive (spectral + mixing simulation); cache per graph
-// name within a binary run.
-class profile_cache {
-public:
-    const graph_profile& get(const graph& g) {
-        auto it = cache_.find(g.name());
-        if (it == cache_.end()) {
-            it = cache_.emplace(g.name(), profile(g, 1)).first;
-        }
-        return it->second;
+    // The shared experiment driver, sized from --jobs.
+    [[nodiscard]] scenario_runner make_runner() const {
+        return scenario_runner(jobs);
     }
-
-private:
-    std::map<std::string, graph_profile> cache_;
 };
 
 inline void emit(const text_table& t, const options& opt, const std::string& title) {
@@ -80,7 +104,52 @@ inline void emit(const text_table& t, const options& opt, const std::string& tit
         std::cout << "-- csv --\n";
         t.print_csv(std::cout);
     }
+    if (opt.json) {
+        std::cout << "-- json --\n";
+        t.print_json(std::cout, title);
+    }
     std::cout.flush();
+}
+
+// Election-outcome buckets over a scenario's repetitions. Errored runs
+// (run.ok == false) are counted separately — never as "no leader".
+struct outcome_counts {
+    std::size_t unique = 0, multi = 0, none = 0, errors = 0;
+    std::string first_error;
+};
+
+inline outcome_counts count_outcomes(const scenario_result& res) {
+    outcome_counts c;
+    for (const auto& run : res.runs) {
+        if (!run.ok) {
+            if (c.errors == 0) c.first_error = run.error;
+            ++c.errors;
+        } else if (run.num_leaders() == 1) {
+            ++c.unique;
+        } else if (run.num_leaders() > 1) {
+            ++c.multi;
+        } else {
+            ++c.none;
+        }
+    }
+    return c;
+}
+
+// Prints a post-table warning when any repetition errored out.
+inline void warn_errors(const std::vector<scenario_result>& results) {
+    std::size_t errors = 0;
+    std::string first;
+    for (const auto& res : results) {
+        const auto c = count_outcomes(res);
+        if (errors == 0 && c.errors > 0) first = res.label + ": " + c.first_error;
+        errors += c.errors;
+    }
+    if (errors > 0) {
+        std::fprintf(stderr,
+                     "warning: %zu repetition(s) errored and are excluded "
+                     "from the outcome columns (first: %s)\n",
+                     errors, first.c_str());
+    }
 }
 
 inline std::string fmt_mean_sd(const sample_stats& s) {

@@ -7,17 +7,15 @@
 // known-n protocols (flooding-max, the Gilbert-et-al-style walks, and the
 // paper's cautious-broadcast algorithm) plus the unknown-n revocable
 // protocol, and prints a decision table: success, rounds, messages, bits.
-// It is Table 1 of the paper turned into a deployment aid.
+// It is Table 1 of the paper turned into a deployment aid — and, being
+// one ScenarioRunner batch, the four protocols run concurrently.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
-#include "baseline/flood_max.h"
-#include "baseline/gilbert_le.h"
-#include "core/irrevocable.h"
-#include "core/revocable.h"
 #include "graph/generators.h"
-#include "graph/spectral.h"
+#include "sim/runner.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -28,7 +26,24 @@ int main(int argc, char** argv) {
     const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
 
     const anole::graph mesh = anole::make_random_regular(n, 4, seed);
-    const auto prof = anole::profile(mesh, seed);
+
+    anole::revocable_cfg revocable;
+    revocable.params = anole::revocable_params::scaled(std::nullopt, 0.02, 0.12);
+    revocable.params.k_cap = 32;  // report failure, don't climb forever
+    revocable.auto_isoperimetric = true;
+
+    const std::vector<anole::scenario> batch = {
+        {"flood-max", &mesh, anole::flood_cfg{}, seed, 1},
+        {"gilbert-style walks", &mesh, anole::gilbert_cfg{}, seed, 1},
+        {"cautious broadcast (this paper)", &mesh, anole::irrevocable_cfg{}, seed, 1},
+        {"revocable diffusion (this paper)", &mesh, revocable, seed, 1},
+    };
+    const char* knowledge[] = {"n, D", "n, tmix", "n, tmix, phi", "i(G) (scaled)"};
+
+    anole::scenario_runner runner;
+    const auto results = runner.run_batch(batch);
+
+    const auto& prof = results[0].profile;
     std::printf("mesh: %s | m=%zu diameter=%u tmix=%llu phi=%.4f\n",
                 mesh.name().c_str(), mesh.num_edges(), prof.diameter,
                 static_cast<unsigned long long>(prof.mixing_time),
@@ -36,38 +51,12 @@ int main(int argc, char** argv) {
 
     anole::text_table t({"protocol", "knowledge", "success", "rounds",
                          "messages", "bits"});
-    auto add = [&](const char* name, const char* knows, bool ok,
-                   std::uint64_t rounds, const anole::phase_counters& c) {
-        t.add_row({name, knows, ok ? "yes" : "NO", anole::fmt_count(rounds),
-                   anole::fmt_count(c.messages), anole::fmt_count(c.bits)});
-    };
-
-    {
-        const auto r = anole::run_flood_max(mesh, prof.diameter, seed);
-        add("flood-max", "n, D", r.success, r.rounds, r.totals);
-    }
-    {
-        anole::gilbert_params p;
-        p.n = mesh.num_nodes();
-        p.tmix = prof.mixing_time;
-        const auto r = anole::run_gilbert(mesh, p, seed);
-        add("gilbert-style walks", "n, tmix", r.success, r.rounds, r.totals);
-    }
-    {
-        anole::irrevocable_params p;
-        p.n = mesh.num_nodes();
-        p.tmix = prof.mixing_time;
-        p.phi = prof.conductance;
-        const auto r = anole::run_irrevocable(mesh, p, seed);
-        add("cautious broadcast (this paper)", "n, tmix, phi", r.success, r.rounds,
-            r.totals);
-    }
-    {
-        auto p = anole::revocable_params::scaled(prof.isoperimetric, 0.02, 0.12);
-        p.k_cap = 32;  // report failure rather than climb the ladder forever
-        const auto r = anole::run_revocable(mesh, p, seed, 30'000'000);
-        add("revocable diffusion (this paper)", "i(G) (scaled)", r.success,
-            r.rounds, r.totals);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& run = results[i].runs[0];
+        const auto totals = run.totals();
+        t.add_row({results[i].label, knowledge[i], run.success() ? "yes" : "NO",
+                   anole::fmt_count(run.rounds()), anole::fmt_count(totals.messages),
+                   anole::fmt_count(totals.bits)});
     }
 
     std::printf("\n");

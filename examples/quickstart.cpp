@@ -10,9 +10,8 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/irrevocable.h"
 #include "graph/generators.h"
-#include "graph/spectral.h"
+#include "sim/runner.h"
 
 int main(int argc, char** argv) {
     const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 256;
@@ -21,16 +20,22 @@ int main(int argc, char** argv) {
     // 1. A topology: any connected graph works; nodes are anonymous.
     const anole::graph g = anole::make_random_regular(n, 4, seed);
 
-    // 2. The protocol needs (upper bounds on) the mixing time and the
-    //    conductance; profile() estimates both.
-    const anole::graph_profile prof = anole::profile(g, seed);
+    // 2. Describe the experiment. The runner profiles the topology and
+    //    fills in the model inputs (n, tmix, Φ) the protocol needs.
+    anole::scenario s;
+    s.topology = &g;
+    s.algo = anole::irrevocable_cfg{};
+    s.seed = seed;
 
-    // 3. Configure and run Irrevocable Leader Election.
-    anole::irrevocable_params params;
-    params.n = g.num_nodes();
-    params.tmix = prof.mixing_time;
-    params.phi = prof.conductance;
-    const anole::irrevocable_result r = anole::run_irrevocable(g, params, seed);
+    // 3. Run it.
+    anole::scenario_runner runner;
+    const anole::scenario_result res = runner.run(s);
+    const anole::graph_profile& prof = res.profile;
+    if (!res.runs[0].ok) {
+        std::printf("run failed: %s\n", res.runs[0].error.c_str());
+        return 1;
+    }
+    const auto& r = std::get<anole::irrevocable_result>(res.runs[0].detail);
 
     std::printf("network: %s | tmix=%llu phi=%.4f diameter=%u\n",
                 g.name().c_str(),

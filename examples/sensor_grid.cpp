@@ -17,9 +17,8 @@
 
 #include "core/irrevocable.h"
 #include "graph/generators.h"
-#include "graph/properties.h"
-#include "graph/spectral.h"
 #include "sim/engine.h"
+#include "sim/runner.h"
 #include "util/bit_codec.h"
 #include "util/table.h"
 
@@ -69,16 +68,25 @@ int main(int argc, char** argv) {
     const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
 
     const anole::graph field = anole::make_torus(side, side);
-    const auto prof = anole::profile(field, seed);
+    anole::scenario_runner runner;
+    const auto& prof = runner.profile_for(field);
     std::printf("sensor field: %zu sensors on a %zux%zu torus (anonymous)\n",
                 field.num_nodes(), side, side);
 
     // --- phase 1: elect the coordinator ---
-    anole::irrevocable_params params;
-    params.n = field.num_nodes();
-    params.tmix = prof.mixing_time;
-    params.phi = prof.conductance;
-    const auto election = anole::run_irrevocable(field, params, seed);
+    // The runner fills the model inputs (n, tmix, Φ) from the profile;
+    // phase 2 replays the same parameters, so fill them explicitly here.
+    const anole::irrevocable_params params =
+        anole::scenario_runner::fill(anole::irrevocable_params{}, prof);
+    const auto result =
+        runner.run(anole::scenario{"election", &field,
+                                   anole::irrevocable_cfg{params, {}}, seed, 1});
+    if (!result.runs[0].ok) {
+        std::printf("election run failed: %s\n", result.runs[0].error.c_str());
+        return 1;
+    }
+    const auto& election =
+        std::get<anole::irrevocable_result>(result.runs[0].detail);
     if (!election.success) {
         std::printf("election failed for this seed (whp event) — retry\n");
         return 1;

@@ -10,12 +10,13 @@
 // with Thresholds: leadership may be revoked while the size estimate k
 // grows, and stabilizes once the estimate certifies against the real n.
 // The example narrates the estimate ladder and the revocation history.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 
-#include "core/revocable.h"
 #include "graph/generators.h"
+#include "sim/runner.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -31,8 +32,18 @@ int main(int argc, char** argv) {
     // Scaled parameter policy (the faithful Theorem 3 lengths are
     // poly(n^8) rounds — see DESIGN.md); same control flow and functional
     // forms, shorter phases.
-    auto params = anole::revocable_params::scaled(std::nullopt, 0.02, 0.12);
-    const auto r = anole::run_revocable(mesh, params, seed, 120'000'000);
+    anole::revocable_cfg cfg;
+    cfg.params = anole::revocable_params::scaled(std::nullopt, 0.02, 0.12);
+    cfg.max_rounds = 120'000'000;
+
+    anole::scenario_runner runner;
+    const auto res =
+        runner.run(anole::scenario{"swarm", &mesh, cfg, seed, 1});
+    if (!res.runs[0].ok) {
+        std::printf("run failed: %s\n", res.runs[0].error.c_str());
+        return 1;
+    }
+    const auto& r = std::get<anole::revocable_result>(res.runs[0].detail);
 
     anole::text_table t({"estimate k", "certification iters", "no-white iters",
                          "probing iters", "IDs minted here"});
@@ -61,7 +72,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.congest_rounds),
                 static_cast<unsigned long long>(r.totals.messages));
     std::printf("\nWhy revocable? No algorithm can elect-and-stop without"
-                " knowing n (Theorem 2): run bench_impossibility to watch a"
-                " stopping algorithm elect two leaders.\n");
+                " knowing n (Theorem 2): run ./impossibility_walkthrough to"
+                " watch a stopping algorithm elect two leaders.\n");
     return r.success ? 0 : 1;
 }

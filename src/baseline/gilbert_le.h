@@ -43,8 +43,8 @@
 namespace anole {
 
 struct gilbert_params {
-    std::size_t n = 0;
-    std::uint64_t tmix = 1;
+    std::size_t n = 0;        // 0 = auto-filled by the ScenarioRunner
+    std::uint64_t tmix = 0;   // 0 = auto-filled; validate() demands >= 1
     double c = 1.0;           // walk length constant
     double cand_c = 1.0;      // candidate probability constant
     double tokens_mult = 1.0; // scales x_g

@@ -1,0 +1,196 @@
+#include "sim/runner.h"
+
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "sim/engine.h"
+
+namespace anole {
+
+// --- parameter auto-fill -----------------------------------------------------
+
+irrevocable_params scenario_runner::fill(irrevocable_params p,
+                                         const graph_profile& prof) {
+    if (p.n == 0) p.n = prof.n;
+    if (p.tmix == 0) p.tmix = std::max<std::uint64_t>(prof.mixing_time, 1);
+    if (p.phi == 0) p.phi = prof.conductance;
+    return p;
+}
+
+gilbert_params scenario_runner::fill(gilbert_params p, const graph_profile& prof) {
+    if (p.n == 0) p.n = prof.n;
+    if (p.tmix == 0) p.tmix = std::max<std::uint64_t>(prof.mixing_time, 1);
+    return p;
+}
+
+revocable_params scenario_runner::fill(const revocable_cfg& c,
+                                       const graph_profile& prof) {
+    revocable_params p = c.params;
+    if (c.auto_isoperimetric && !p.isoperimetric) p.isoperimetric = prof.isoperimetric;
+    return p;
+}
+
+// --- cautious-broadcast driver ----------------------------------------------
+
+namespace {
+
+cb_result run_cautious(const graph& g, const graph_profile& prof,
+                       const cautious_cfg& c, std::uint64_t seed) {
+    cb_config cfg = c.config;
+    if (c.cap_x > 0) {
+        const double cap = c.cap_x * static_cast<double>(prof.mixing_time) *
+                           prof.conductance;
+        cfg.cap = std::max<std::uint64_t>(2, static_cast<std::uint64_t>(std::ceil(cap)));
+    }
+    std::uint64_t rounds = c.rounds;
+    if (rounds == 0) {
+        rounds = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   static_cast<double>(prof.mixing_time) *
+                   std::log2(static_cast<double>(std::max<std::size_t>(prof.n, 2)))));
+    }
+    engine<cautious_broadcast_node> eng(
+        g, seed, c.budget.value_or(congest_budget::strict_log(16)));
+    eng.spawn([&](std::size_t u) {
+        return cautious_broadcast_node(g.degree(static_cast<node_id>(u)), u == 0,
+                                       c.source_id, cfg, rounds);
+    });
+    eng.run_until_halted(rounds + 2);
+
+    cb_result out;
+    out.rounds = eng.round();
+    out.totals = eng.metrics().total();
+    for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+        if (eng.node(u).exec().in_tree()) ++out.territory;
+    }
+    // The source is always in its own tree; success means it recruited
+    // someone (trivially true on a 1-node graph).
+    out.success = out.territory >= 2 || g.num_nodes() == 1;
+    return out;
+}
+
+}  // namespace
+
+// --- one repetition ----------------------------------------------------------
+
+run_record scenario_runner::run_once(const graph& g, const graph_profile& prof,
+                                     const algo_config& cfg, std::uint64_t seed) {
+    run_record rec;
+    rec.seed = seed;
+    try {
+        if (const auto* f = std::get_if<flood_cfg>(&cfg)) {
+            const std::uint64_t d = f->diameter != 0 ? f->diameter : prof.diameter;
+            rec.detail = run_flood_max(
+                g, d, seed, f->budget.value_or(congest_budget::strict_log(16)));
+        } else if (const auto* gb = std::get_if<gilbert_cfg>(&cfg)) {
+            rec.detail = run_gilbert(
+                g, fill(gb->params, prof), seed,
+                gb->budget.value_or(congest_budget::fragmenting(16)));
+        } else if (const auto* ir = std::get_if<irrevocable_cfg>(&cfg)) {
+            rec.detail = run_irrevocable(
+                g, fill(ir->params, prof), seed,
+                ir->budget.value_or(congest_budget::strict_log(16)));
+        } else if (const auto* rv = std::get_if<revocable_cfg>(&cfg)) {
+            rec.detail = run_revocable(
+                g, fill(*rv, prof), seed, rv->max_rounds,
+                rv->budget.value_or(congest_budget::fragmenting(16)));
+        } else {
+            rec.detail = run_cautious(g, prof, std::get<cautious_cfg>(cfg), seed);
+        }
+        rec.ok = true;
+    } catch (const std::exception& e) {
+        rec.ok = false;
+        rec.error = e.what();
+    }
+    return rec;
+}
+
+// --- topology + profile caches ----------------------------------------------
+
+const graph& scenario_runner::materialize(const topology_spec& spec) {
+    if (const auto* borrowed = std::get_if<const graph*>(&spec)) {
+        require(*borrowed != nullptr, "scenario: null topology");
+        return **borrowed;
+    }
+    const auto& fs = std::get<family_spec>(spec);
+    const auto key = std::make_tuple(fs.family, fs.n, fs.seed);
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        auto it = graphs_.find(key);
+        if (it != graphs_.end()) return *it->second;
+    }
+    // Generate outside the lock (deterministic, so a racing duplicate is
+    // identical and the loser is simply discarded).
+    auto fresh = std::make_unique<graph>(make_family(fs.family, fs.n, fs.seed));
+    std::unique_lock<std::mutex> lk(mu_);
+    auto [it, inserted] = graphs_.emplace(key, std::move(fresh));
+    return *it->second;
+}
+
+const graph_profile& scenario_runner::profile_for(const graph& g) {
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        auto it = profiles_.find(&g);
+        if (it != profiles_.end()) return *it->second;
+    }
+    auto fresh = std::make_unique<graph_profile>(profile(g, 1));
+    std::unique_lock<std::mutex> lk(mu_);
+    auto [it, inserted] = profiles_.emplace(&g, std::move(fresh));
+    return *it->second;
+}
+
+// --- scenario execution ------------------------------------------------------
+
+scenario_result scenario_runner::prepare(const scenario& s) {
+    scenario_result out;
+    out.kind = kind_of(s.algo);
+    out.topology = &materialize(s.topology);
+    out.profile = profile_for(*out.topology);
+    out.label = s.label.empty()
+                    ? out.topology->name() + "/" + to_string(out.kind)
+                    : s.label;
+    out.runs.resize(std::max<std::size_t>(s.repetitions, 1));
+    return out;
+}
+
+scenario_result scenario_runner::run(const scenario& s) {
+    scenario_result out = prepare(s);
+    const graph& g = *out.topology;
+    pool_.parallel_for(out.runs.size(), [&](std::size_t r) {
+        out.runs[r] = run_once(g, out.profile, s.algo, s.seed + r);
+    });
+    return out;
+}
+
+std::vector<scenario_result> scenario_runner::run_batch(
+    const std::vector<scenario>& batch) {
+    std::vector<scenario_result> results(batch.size());
+
+    // Stage 1: materialize every topology (cheap, sequential, dedups via
+    // the cache), then profile the distinct ones in parallel — spectral +
+    // mixing estimation dominates sweep start-up cost.
+    std::vector<const graph*> order;
+    std::set<const graph*> distinct;
+    for (const auto& s : batch) {
+        const graph* g = &materialize(s.topology);
+        if (distinct.insert(g).second) order.push_back(g);
+    }
+    pool_.parallel_for(order.size(),
+                       [&](std::size_t i) { (void)profile_for(*order[i]); });
+
+    // Stage 2: every (scenario, repetition) pair is one pool job.
+    for (std::size_t i = 0; i < batch.size(); ++i) results[i] = prepare(batch[i]);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        for (std::size_t r = 0; r < results[i].runs.size(); ++r) {
+            pool_.submit([this, &batch, &results, i, r] {
+                results[i].runs[r] = run_once(*results[i].topology, results[i].profile,
+                                              batch[i].algo, batch[i].seed + r);
+            });
+        }
+    }
+    pool_.wait();
+    return results;
+}
+
+}  // namespace anole

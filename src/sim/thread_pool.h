@@ -1,0 +1,104 @@
+// anole — minimal fixed-size worker pool for the scenario harness.
+//
+// The experiment sweeps are embarrassingly parallel at the repetition
+// level: every (scenario, seed) pair builds its own engine over a shared
+// read-only graph. This pool is the batch substrate behind
+// scenario_runner and the benches' `--jobs N` flag.
+//
+// Jobs are opaque void() callables and must not throw — the runner
+// captures per-run exceptions into the run record before submitting.
+// wait() blocks until the queue drains AND every in-flight job returned,
+// so results written by jobs are visible to the waiter afterwards
+// (release/acquire via the mutex).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace anole {
+
+class thread_pool {
+public:
+    // workers = 0 selects hardware_concurrency (at least 1).
+    explicit thread_pool(std::size_t workers = 0) {
+        if (workers == 0) {
+            workers = std::thread::hardware_concurrency();
+            if (workers == 0) workers = 1;
+        }
+        threads_.reserve(workers);
+        for (std::size_t i = 0; i < workers; ++i) {
+            threads_.emplace_back([this] { worker_loop(); });
+        }
+    }
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    ~thread_pool() {
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            stopping_ = true;
+        }
+        cv_work_.notify_all();
+        for (auto& t : threads_) t.join();
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
+
+    void submit(std::function<void()> job) {
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            queue_.push_back(std::move(job));
+            ++outstanding_;
+        }
+        cv_work_.notify_one();
+    }
+
+    // Blocks until every submitted job has finished.
+    void wait() {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_idle_.wait(lk, [this] { return outstanding_ == 0; });
+    }
+
+    // Convenience: fn(i) for every i in [0, count), then wait.
+    template <class Fn>
+    void parallel_for(std::size_t count, Fn&& fn) {
+        for (std::size_t i = 0; i < count; ++i) {
+            submit([&fn, i] { fn(i); });
+        }
+        wait();
+    }
+
+private:
+    void worker_loop() {
+        for (;;) {
+            std::function<void()> job;
+            {
+                std::unique_lock<std::mutex> lk(mu_);
+                cv_work_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+                if (queue_.empty()) return;  // stopping_ with a drained queue
+                job = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            job();
+            {
+                std::unique_lock<std::mutex> lk(mu_);
+                if (--outstanding_ == 0) cv_idle_.notify_all();
+            }
+        }
+    }
+
+    std::mutex mu_;
+    std::condition_variable cv_work_, cv_idle_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t outstanding_ = 0;
+    bool stopping_ = false;
+    std::vector<std::thread> threads_;
+};
+
+}  // namespace anole

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdint>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 
@@ -84,6 +85,43 @@ void text_table::print_csv(std::ostream& os) const {
     };
     emit(headers_);
     for (const auto& row : rows_) emit(row);
+}
+
+void text_table::print_json(std::ostream& os, const std::string& title) const {
+    auto quote = [&os](const std::string& s) {
+        os << '"';
+        for (char ch : s) {
+            switch (ch) {
+                case '"': os << "\\\""; break;
+                case '\\': os << "\\\\"; break;
+                case '\n': os << "\\n"; break;
+                case '\t': os << "\\t"; break;
+                default:
+                    if (static_cast<unsigned char>(ch) < 0x20) {
+                        char buf[8];
+                        std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+                        os << buf;
+                    } else {
+                        os << ch;
+                    }
+            }
+        }
+        os << '"';
+    };
+    os << "{\"title\": ";
+    quote(title);
+    os << ", \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        os << (r ? ", " : "") << '{';
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            if (c) os << ", ";
+            quote(headers_[c]);
+            os << ": ";
+            quote(rows_[r][c]);
+        }
+        os << '}';
+    }
+    os << "]}\n";
 }
 
 std::string fmt_fixed(double v, int decimals) {

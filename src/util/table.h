@@ -33,6 +33,10 @@ public:
     void print(std::ostream& os) const;
     // RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
     void print_csv(std::ostream& os) const;
+    // JSON: {"title": ..., "rows": [{header: cell, ...}, ...]} — one
+    // object per row keyed by header, all values as strings (the
+    // BENCH_*.json trajectory schema; see docs/BENCHMARKS.md).
+    void print_json(std::ostream& os, const std::string& title) const;
 
 private:
     std::vector<std::string> headers_;

@@ -20,7 +20,7 @@ TEST(IrrevocableParams, IdSpaceIsNFourth) {
 TEST(IrrevocableParams, IdSpaceOverflowGuard) {
     irrevocable_params p;
     p.n = std::size_t{1} << 15;
-    EXPECT_THROW(p.id_space(), error);
+    EXPECT_THROW((void)p.id_space(), error);
 }
 
 TEST(IrrevocableParams, CandidateProbabilityClamped) {

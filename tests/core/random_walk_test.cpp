@@ -66,7 +66,9 @@ TEST(WalkEnsemble, ShortWalksStayLocal) {
     const auto r = run_walk_ensemble(g, 0, 1000, 2, 17);
     for (std::size_t u = 0; u < g.num_nodes(); ++u) {
         const std::size_t dist = std::min<std::size_t>(u, 32 - u);
-        if (dist > 2) EXPECT_EQ(r.resident[u], 0u) << u;
+        if (dist > 2) {
+            EXPECT_EQ(r.resident[u], 0u) << u;
+        }
     }
 }
 

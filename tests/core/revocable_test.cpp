@@ -30,7 +30,9 @@ TEST(Revocable, FaithfulKnownIsoperimetricOnComplete) {
     EXPECT_EQ(r.nodes_chose, 6u);
     // Degree alarm: nobody can choose while k^{1+ε} < degree+? = 5.
     for (const auto& [k, tr] : r.traces) {
-        if (k * k < 5) EXPECT_FALSE(tr.chose_here) << k;
+        if (k * k < 5) {
+            EXPECT_FALSE(tr.chose_here) << k;
+        }
     }
 }
 

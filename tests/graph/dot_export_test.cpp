@@ -16,7 +16,12 @@ TEST(DotExport, ContainsAllNodesAndEdges) {
     write_dot(os, g);
     const std::string out = os.str();
     for (int u = 0; u < 5; ++u) {
-        EXPECT_NE(out.find("n" + std::to_string(u) + " [label="), std::string::npos);
+        // Built via append rather than operator+ — GCC 12's -Wrestrict
+        // false-positives on `"lit" + std::to_string(...)` at -O2+.
+        std::string needle = "n";
+        needle += std::to_string(u);
+        needle += " [label=";
+        EXPECT_NE(out.find(needle), std::string::npos);
     }
     EXPECT_NE(out.find("n0 -- n1"), std::string::npos);
     EXPECT_NE(out.find("n0 -- n4"), std::string::npos);
@@ -26,7 +31,11 @@ TEST(DotExport, ContainsAllNodesAndEdges) {
 TEST(DotExport, CustomLabelsAndAttrs) {
     graph g = make_path(3);
     dot_style style;
-    style.node_label = [](node_id u) { return "v" + std::to_string(u * 10); };
+    style.node_label = [](node_id u) {
+        std::string label = "v";  // append: dodges the GCC 12 -Wrestrict bug
+        label += std::to_string(u * 10);
+        return label;
+    };
     style.node_attrs = [](node_id u) {
         return u == 1 ? std::string("color=red") : std::string();
     };

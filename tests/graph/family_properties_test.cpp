@@ -77,9 +77,13 @@ TEST_P(FamilyProperties, DiameterEstimateBracketsExact) {
 TEST_P(FamilyProperties, GeneratorFactsAreConsistent) {
     const graph g = build();
     const auto& f = g.facts();
-    if (f.diameter) EXPECT_EQ(*f.diameter, diameter_exact(g));
+    if (f.diameter) {
+        EXPECT_EQ(*f.diameter, diameter_exact(g));
+    }
     if (g.num_nodes() <= 20) {
-        if (f.conductance) EXPECT_NEAR(*f.conductance, conductance_exact(g), 1e-9);
+        if (f.conductance) {
+            EXPECT_NEAR(*f.conductance, conductance_exact(g), 1e-9);
+        }
         if (f.isoperimetric) {
             EXPECT_NEAR(*f.isoperimetric, isoperimetric_exact(g), 1e-9);
         }

@@ -1,0 +1,200 @@
+// Tests for sim/runner.h + sim/scenario.h: parameter auto-fill from the
+// profile, unified records across all five algorithms, determinism in
+// --jobs, topology/profile caching, and error capture.
+#include "sim/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+
+namespace anole {
+namespace {
+
+TEST(Scenario, KindOfMatchesVariantAlternative) {
+    EXPECT_EQ(kind_of(flood_cfg{}), algo_kind::flood_max);
+    EXPECT_EQ(kind_of(gilbert_cfg{}), algo_kind::gilbert);
+    EXPECT_EQ(kind_of(irrevocable_cfg{}), algo_kind::irrevocable);
+    EXPECT_EQ(kind_of(revocable_cfg{}), algo_kind::revocable);
+    EXPECT_EQ(kind_of(cautious_cfg{}), algo_kind::cautious_broadcast);
+    EXPECT_STREQ(to_string(algo_kind::irrevocable), "irrevocable");
+}
+
+TEST(Runner, FillsZeroModelInputsFromProfile) {
+    graph_profile prof;
+    prof.n = 64;
+    prof.mixing_time = 17;
+    prof.conductance = 0.25;
+    prof.isoperimetric = 0.5;
+
+    const auto ip = scenario_runner::fill(irrevocable_params{}, prof);
+    EXPECT_EQ(ip.n, 64u);
+    EXPECT_EQ(ip.tmix, 17u);
+    EXPECT_DOUBLE_EQ(ip.phi, 0.25);
+
+    // Explicit values win over the profile.
+    irrevocable_params explicit_p;
+    explicit_p.n = 32;
+    explicit_p.tmix = 5;
+    explicit_p.phi = 0.75;
+    const auto kept = scenario_runner::fill(explicit_p, prof);
+    EXPECT_EQ(kept.n, 32u);
+    EXPECT_EQ(kept.tmix, 5u);
+    EXPECT_DOUBLE_EQ(kept.phi, 0.75);
+
+    const auto gp = scenario_runner::fill(gilbert_params{}, prof);
+    EXPECT_EQ(gp.n, 64u);
+    EXPECT_EQ(gp.tmix, 17u);
+
+    revocable_cfg rc;
+    rc.auto_isoperimetric = true;
+    EXPECT_DOUBLE_EQ(*scenario_runner::fill(rc, prof).isoperimetric, 0.5);
+    rc.auto_isoperimetric = false;
+    EXPECT_FALSE(scenario_runner::fill(rc, prof).isoperimetric.has_value());
+}
+
+TEST(Runner, RunsEveryAlgorithmKindOnOneTopology) {
+    scenario_runner runner(2);
+    const graph g = make_torus(4, 4);
+
+    revocable_cfg rc;
+    rc.params = revocable_params::scaled(std::nullopt, 0.02, 0.12);
+    rc.params.k_cap = 32;
+    const std::vector<scenario> batch = {
+        {"", &g, flood_cfg{}, 1, 2},
+        {"", &g, gilbert_cfg{}, 1, 2},
+        {"", &g, irrevocable_cfg{}, 1, 2},
+        {"", &g, rc, 1, 2},
+        {"", &g, cautious_cfg{}, 1, 2},
+    };
+    const auto results = runner.run_batch(batch);
+    ASSERT_EQ(results.size(), 5u);
+    for (const auto& res : results) {
+        ASSERT_EQ(res.runs.size(), 2u);
+        for (const auto& run : res.runs) {
+            EXPECT_TRUE(run.ok) << res.label << ": " << run.error;
+            EXPECT_GT(run.totals().messages, 0u) << res.label;
+            EXPECT_GT(run.rounds(), 0u) << res.label;
+        }
+        EXPECT_EQ(res.topology, &g);
+        EXPECT_EQ(res.profile.n, 16u);
+    }
+    // Flood-max on a 4x4 torus with the measured diameter elects exactly
+    // one leader deterministically in the seed.
+    EXPECT_EQ(results[0].successes(), 2u);
+    EXPECT_EQ(results[0].success_ratio(), "2/2");
+    // Cautious broadcast reports its territory through the detail.
+    const auto& cb = std::get<cb_result>(results[4].runs[0].detail);
+    EXPECT_GE(cb.territory, 1u);
+}
+
+TEST(Runner, ResultsAreIdenticalForAnyJobCount) {
+    const graph g = make_random_regular(32, 4, 7);
+    scenario s{"", &g, irrevocable_cfg{}, 11, 4};
+
+    scenario_runner serial(1), wide(8);
+    const auto a = serial.run(s);
+    const auto b = wide.run(s);
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (std::size_t i = 0; i < a.runs.size(); ++i) {
+        EXPECT_EQ(a.runs[i].seed, b.runs[i].seed);
+        EXPECT_EQ(a.runs[i].success(), b.runs[i].success());
+        EXPECT_EQ(a.runs[i].totals().messages, b.runs[i].totals().messages);
+        EXPECT_EQ(a.runs[i].totals().bits, b.runs[i].totals().bits);
+        EXPECT_EQ(a.runs[i].rounds(), b.runs[i].rounds());
+    }
+}
+
+TEST(Runner, RepetitionSeedsAreSequential) {
+    const graph g = make_cycle(8);
+    scenario_runner runner(2);
+    const auto res = runner.run(scenario{"", &g, flood_cfg{}, 42, 3});
+    ASSERT_EQ(res.runs.size(), 3u);
+    EXPECT_EQ(res.runs[0].seed, 42u);
+    EXPECT_EQ(res.runs[1].seed, 43u);
+    EXPECT_EQ(res.runs[2].seed, 44u);
+}
+
+TEST(Runner, MaterializeCachesFamilyInstances) {
+    scenario_runner runner(1);
+    const family_spec spec{graph_family::torus, 16, 3};
+    const graph& a = runner.materialize(spec);
+    const graph& b = runner.materialize(spec);
+    EXPECT_EQ(&a, &b);  // same cached instance
+    const graph& c = runner.materialize(family_spec{graph_family::torus, 16, 4});
+    EXPECT_NE(&a, &c);  // different seed, different instance
+    EXPECT_EQ(a.num_nodes(), 16u);
+}
+
+TEST(Runner, ProfileIsCachedPerGraph) {
+    scenario_runner runner(1);
+    const graph g = make_complete(8);
+    const graph_profile& a = runner.profile_for(g);
+    const graph_profile& b = runner.profile_for(g);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.n, 8u);
+    EXPECT_EQ(a.m, 28u);
+}
+
+TEST(Runner, DerivesLabelFromTopologyAndAlgorithm) {
+    scenario_runner runner(1);
+    const auto res =
+        runner.run(scenario{"", family_spec{graph_family::cycle, 8, 1},
+                            flood_cfg{}, 1, 1});
+    EXPECT_EQ(res.label, res.topology->name() + std::string("/flood_max"));
+    const auto named =
+        runner.run(scenario{"my row", family_spec{graph_family::cycle, 8, 1},
+                            flood_cfg{}, 1, 1});
+    EXPECT_EQ(named.label, "my row");
+}
+
+TEST(Runner, CapturesRunErrorsInsteadOfThrowing) {
+    // irrevocable_params::id_space requires n < 2^15; forcing a huge n
+    // through the params makes the run throw — the record must capture it.
+    const graph g = make_cycle(8);
+    irrevocable_cfg bad;
+    bad.params.n = std::size_t{1} << 15;
+    scenario_runner runner(1);
+    const auto res = runner.run(scenario{"", &g, bad, 1, 2});
+    ASSERT_EQ(res.runs.size(), 2u);
+    for (const auto& run : res.runs) {
+        EXPECT_FALSE(run.ok);
+        EXPECT_FALSE(run.error.empty());
+        EXPECT_FALSE(run.success());
+        EXPECT_EQ(run.totals().messages, 0u);
+    }
+    EXPECT_EQ(res.successes(), 0u);
+    EXPECT_TRUE(res.messages().empty());  // failed runs excluded from stats
+}
+
+TEST(Runner, BatchSharesTopologyAcrossScenarios) {
+    scenario_runner runner(4);
+    const family_spec spec{graph_family::torus, 16, 1};
+    const std::vector<scenario> batch = {
+        {"", spec, flood_cfg{}, 1, 1},
+        {"", spec, gilbert_cfg{}, 1, 1},
+        {"", spec, irrevocable_cfg{}, 1, 1},
+    };
+    const auto results = runner.run_batch(batch);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].topology, results[1].topology);
+    EXPECT_EQ(results[1].topology, results[2].topology);
+}
+
+TEST(Runner, CautiousCapXOverridesTerritoryCap) {
+    // A tiny cap must produce a much smaller territory than no cap.
+    const graph g = make_torus(8, 8);
+    scenario_runner runner(2);
+    cautious_cfg tiny;
+    tiny.cap_x = 0.001;  // cap clamps to 2
+    cautious_cfg unbounded;  // default cap = UINT64_MAX
+    const auto small = runner.run(scenario{"", &g, tiny, 5, 1});
+    const auto big = runner.run(scenario{"", &g, unbounded, 5, 1});
+    const auto& ts = std::get<cb_result>(small.runs[0].detail);
+    const auto& tb = std::get<cb_result>(big.runs[0].detail);
+    EXPECT_LT(ts.territory, tb.territory);
+}
+
+}  // namespace
+}  // namespace anole

@@ -35,18 +35,18 @@ TEST(Stats, PercentileInterpolates) {
 
 TEST(Stats, EmptyThrows) {
     sample_stats s;
-    EXPECT_THROW(s.mean(), error);
-    EXPECT_THROW(s.min(), error);
-    EXPECT_THROW(s.percentile(50), error);
+    EXPECT_THROW((void)s.mean(), error);
+    EXPECT_THROW((void)s.min(), error);
+    EXPECT_THROW((void)s.percentile(50), error);
     s.add(1.0);
-    EXPECT_THROW(s.variance(), error);  // needs >= 2
+    EXPECT_THROW((void)s.variance(), error);  // needs >= 2
 }
 
 TEST(Stats, PercentileRangeChecked) {
     sample_stats s;
     s.add(1.0);
-    EXPECT_THROW(s.percentile(-1), error);
-    EXPECT_THROW(s.percentile(101), error);
+    EXPECT_THROW((void)s.percentile(-1), error);
+    EXPECT_THROW((void)s.percentile(101), error);
 }
 
 TEST(Fits, ThroughOriginRecoversSlope) {
@@ -77,13 +77,13 @@ TEST(Fits, LogLogSlopeFindsExponent) {
 
 TEST(Fits, LogLogRejectsNonPositive) {
     std::vector<double> x{1, 2}, y{0, 1};
-    EXPECT_THROW(loglog_slope(x, y), error);
+    EXPECT_THROW((void)loglog_slope(x, y), error);
 }
 
 TEST(Fits, SizeMismatchThrows) {
     std::vector<double> x{1, 2, 3}, y{1, 2};
-    EXPECT_THROW(linear_fit(x, y), error);
-    EXPECT_THROW(fit_through_origin(x, y), error);
+    EXPECT_THROW((void)linear_fit(x, y), error);
+    EXPECT_THROW((void)fit_through_origin(x, y), error);
 }
 
 }  // namespace

@@ -41,6 +41,26 @@ TEST(Table, CsvEscaping) {
     EXPECT_EQ(out.substr(0, 4), "k,v\n");
 }
 
+TEST(Table, JsonRowsKeyedByHeader) {
+    text_table t({"graph", "messages"});
+    t.add_row({"torus(8x8)", "1,234"});
+    t.add_row({"cycle(64)", "56"});
+    std::ostringstream os;
+    t.print_json(os, "E1: demo");
+    EXPECT_EQ(os.str(),
+              "{\"title\": \"E1: demo\", \"rows\": ["
+              "{\"graph\": \"torus(8x8)\", \"messages\": \"1,234\"}, "
+              "{\"graph\": \"cycle(64)\", \"messages\": \"56\"}]}\n");
+}
+
+TEST(Table, JsonEscapesSpecials) {
+    text_table t({"k"});
+    t.add_row({"quote\" slash\\ newline\n"});
+    std::ostringstream os;
+    t.print_json(os, "x");
+    EXPECT_NE(os.str().find("quote\\\" slash\\\\ newline\\n"), std::string::npos);
+}
+
 TEST(Format, Fixed) {
     EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
     EXPECT_EQ(fmt_fixed(2.0, 0), "2");
