@@ -1,0 +1,230 @@
+// Campaign driver — the declarative sweep CLI over the topology zoo.
+//
+//   ./bench_campaign --families barbell,watts_strogatz,ba --sizes 64,256
+//                    --variants revocable,cautious --seeds 8
+//
+// expands the cartesian sweep {families × sizes × variants × seeds} into
+// single-repetition units, runs them through the ScenarioRunner (shared
+// topology/profile caches across variants), streams one JSON record per
+// unit to a JSONL file (default campaign.jsonl), and prints the
+// aggregate per-cell table. Re-running with the same spec and output
+// file skips every already-recorded unit — an interrupted campaign
+// resumes where it died, and a completed one reports "0 executed".
+//
+// Flags beyond the sweep axes:
+//   --spec FILE.json   load the docs/CAMPAIGNS.md JSON schema; sweep-axis
+//                      flags override the file's values
+//   --out FILE         JSONL record stream (default campaign.jsonl);
+//                      --no-out disables persistence (and thus resume)
+//   --base-seed N      first run seed (default 1)
+//   --topology-seed N  instance seed for generated families (default 1)
+//   --dry-run          print the expansion size and exit
+//   --csv --json --jobs N   as in every other bench (see bench/common.h)
+#include <fstream>
+#include <sstream>
+
+#include "bench/common.h"
+#include "sim/campaign.h"
+
+using namespace anole;
+using namespace anole::bench;
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+    std::printf(
+        "usage: bench_campaign [--spec FILE.json]\n"
+        "    [--families f1,f2,...] [--sizes n1,n2,...]\n"
+        "    [--variants v1,v2,...] [--seeds N]\n"
+        "    [--out FILE | --no-out] [--base-seed N] [--topology-seed N]\n"
+        "    [--jobs N] [--csv] [--json] [--dry-run]\n"
+        "families: any graph_family name or alias (ws, ba, rgg, caveman,\n"
+        "er, grid, tree); variants: flood_max|flood, gilbert, irrevocable,\n"
+        "revocable, cautious_broadcast|cautious.\n");
+    std::exit(code);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty()) out.push_back(item);
+    }
+    return out;
+}
+
+std::string need_value(int argc, char** argv, int& i) {
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", argv[i]);
+        std::exit(2);
+    }
+    return argv[++i];
+}
+
+std::uint64_t parse_u64(const std::string& v, const char* flag) {
+    // stoull would accept "-1" by wraparound; require plain digits.
+    std::size_t pos = 0;
+    unsigned long long parsed = 0;
+    const bool digits = !v.empty() && v.find_first_not_of("0123456789") ==
+                                          std::string::npos;
+    try {
+        if (digits) parsed = std::stoull(v, &pos);
+    } catch (const std::exception&) {
+        pos = 0;
+    }
+    if (!digits || pos != v.size()) {
+        std::fprintf(stderr, "error: %s expects a non-negative number, got '%s'\n",
+                     flag, v.c_str());
+        std::exit(2);
+    }
+    return parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    campaign_spec spec;
+    spec.output = "campaign.jsonl";
+    spec.families.clear();
+    spec.sizes.clear();
+    spec.variants.clear();
+
+    bool emit_csv = false, emit_json = false, dry_run = false, no_out = false;
+    bool seeds_set = false, base_seed_set = false, topology_seed_set = false;
+    std::size_t jobs = 0;
+    std::string out_flag;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--spec") {
+            const std::string path = need_value(argc, argv, i);
+            std::ifstream in(path);
+            if (!in) {
+                std::fprintf(stderr, "error: cannot read spec '%s'\n", path.c_str());
+                return 2;
+            }
+            std::stringstream buf;
+            buf << in.rdbuf();
+            try {
+                const campaign_spec loaded = campaign_spec_from_json(buf.str());
+                // Axis flags seen later override; start from the file.
+                if (spec.families.empty()) spec.families = loaded.families;
+                if (spec.sizes.empty()) spec.sizes = loaded.sizes;
+                if (spec.variants.empty()) spec.variants = loaded.variants;
+                if (!seeds_set) spec.seeds = loaded.seeds;
+                if (!base_seed_set) spec.base_seed = loaded.base_seed;
+                if (!topology_seed_set) spec.topology_seed = loaded.topology_seed;
+                if (!loaded.output.empty()) spec.output = loaded.output;
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "error: bad spec '%s': %s\n", path.c_str(),
+                             e.what());
+                return 2;
+            }
+        } else if (a == "--families") {
+            spec.families.clear();
+            for (const std::string& name : split_csv(need_value(argc, argv, i))) {
+                const auto f = family_from_string(name);
+                if (!f) {
+                    std::fprintf(stderr, "error: unknown family '%s'\n", name.c_str());
+                    return 2;
+                }
+                spec.families.push_back(*f);
+            }
+        } else if (a == "--sizes") {
+            spec.sizes.clear();
+            for (const std::string& v : split_csv(need_value(argc, argv, i))) {
+                spec.sizes.push_back(static_cast<std::size_t>(parse_u64(v, "--sizes")));
+            }
+        } else if (a == "--variants") {
+            spec.variants.clear();
+            for (const std::string& name : split_csv(need_value(argc, argv, i))) {
+                const auto k = variant_from_string(name);
+                if (!k) {
+                    std::fprintf(stderr, "error: unknown variant '%s'\n",
+                                 name.c_str());
+                    return 2;
+                }
+                spec.variants.push_back(*k);
+            }
+        } else if (a == "--seeds") {
+            spec.seeds =
+                static_cast<std::size_t>(parse_u64(need_value(argc, argv, i), "--seeds"));
+            seeds_set = true;
+        } else if (a == "--out") {
+            out_flag = need_value(argc, argv, i);
+        } else if (a == "--no-out") {
+            no_out = true;
+        } else if (a == "--base-seed") {
+            spec.base_seed = parse_u64(need_value(argc, argv, i), "--base-seed");
+            base_seed_set = true;
+        } else if (a == "--topology-seed") {
+            spec.topology_seed =
+                parse_u64(need_value(argc, argv, i), "--topology-seed");
+            topology_seed_set = true;
+        } else if (a == "--jobs") {
+            jobs = static_cast<std::size_t>(parse_u64(need_value(argc, argv, i), "--jobs"));
+        } else if (a == "--csv") {
+            emit_csv = true;
+        } else if (a == "--json") {
+            emit_json = true;
+        } else if (a == "--dry-run") {
+            dry_run = true;
+        } else if (a == "--help" || a == "-h") {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "error: unknown flag '%s' (try --help)\n", a.c_str());
+            return 2;
+        }
+    }
+
+    // Demo sweep when no axes were given: the conductance extremes.
+    if (spec.families.empty()) {
+        spec.families = {graph_family::barbell, graph_family::watts_strogatz,
+                         graph_family::barabasi_albert};
+    }
+    if (spec.sizes.empty()) spec.sizes = {64};
+    if (spec.variants.empty()) {
+        spec.variants = {algo_kind::flood_max, algo_kind::irrevocable};
+    }
+    if (!out_flag.empty()) spec.output = out_flag;
+    if (no_out) spec.output.clear();
+
+    try {
+        spec.validate();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+
+    const auto units = expand(spec);
+    if (dry_run) {
+        std::printf("campaign: %zu units (%zu families x %zu sizes x %zu variants "
+                    "x %zu seeds)\n",
+                    units.size(), spec.families.size(), spec.sizes.size(),
+                    spec.variants.size(), spec.seeds);
+        return 0;
+    }
+
+    scenario_runner runner(jobs);
+    campaign_report report;
+    try {
+        report = run_campaign(spec, runner);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+
+    options opt;  // reuse the shared table emitter for --csv/--json
+    opt.csv = emit_csv;
+    opt.json = emit_json;
+    emit(campaign_table(report.records), opt, "CAMPAIGN: aggregate by cell");
+
+    std::printf("\ncampaign: %zu executed, %zu skipped (already recorded), "
+                "%zu failed; %zu/%zu units recorded%s%s\n",
+                report.executed, report.skipped, report.failed,
+                report.records.size(), units.size(),
+                spec.output.empty() ? "" : " in ",
+                spec.output.c_str());
+    return report.failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// topology_gallery — dump any zoo family as Graphviz DOT.
+//
+//   ./topology_gallery                      # list every family + alias
+//   ./topology_gallery wheel 32             # DOT of wheel(32) on stdout
+//   ./topology_gallery ba 48 7 | dot -Tsvg > ba.svg
+//
+// docs/TOPOLOGIES.md pairs each catalog entry with its thumbnail
+// command; this is the binary those commands run. Nodes are colored by
+// normalized degree so hubs (barabasi_albert, star, wheel) and
+// bottleneck anchors stand out in the rendering.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "graph/dot_export.h"
+#include "graph/generators.h"
+
+using namespace anole;
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: topology_gallery <family> [n=32] [seed=1]\n"
+                     "families:");
+        for (const graph_family f : all_families()) {
+            std::fprintf(stderr, " %s", to_string(f));
+        }
+        std::fprintf(stderr, "\naliases: ws ba rgg geometric caveman er grid tree\n");
+        return 2;
+    }
+    const auto family = family_from_string(argv[1]);
+    if (!family) {
+        std::fprintf(stderr, "error: unknown family '%s' (run with no args for "
+                             "the list)\n",
+                     argv[1]);
+        return 2;
+    }
+    const auto parse_count = [](const char* arg, const char* what,
+                                std::uint64_t dflt) -> std::uint64_t {
+        if (arg == nullptr) return dflt;
+        char* end = nullptr;
+        const std::uint64_t v = std::strtoull(arg, &end, 10);
+        // Reject sign prefixes (strtoull wraps "-1"), trailing garbage,
+        // and empty input.
+        if (*arg == '\0' || *arg == '-' || *arg == '+' || end == nullptr ||
+            *end != '\0') {
+            std::fprintf(stderr, "error: %s must be a non-negative number, "
+                                 "got '%s'\n",
+                         what, arg);
+            std::exit(2);
+        }
+        return v;
+    };
+    const std::size_t n = parse_count(argc > 2 ? argv[2] : nullptr, "n", 32);
+    const std::uint64_t seed = parse_count(argc > 3 ? argv[3] : nullptr, "seed", 1);
+    if (n == 0) {
+        std::fprintf(stderr, "error: n must be a positive number, got '%s'\n",
+                     argv[2]);
+        return 2;
+    }
+
+    try {
+        const graph g = make_family(*family, n, seed);
+
+        dot_style style;
+        // Shade by degree: light for leaves, saturated for hubs.
+        const double dmax = static_cast<double>(g.max_degree());
+        style.node_attrs = [&](node_id u) {
+            const double t =
+                dmax > 0 ? static_cast<double>(g.degree(u)) / dmax : 0.0;
+            const int blue = 235 - static_cast<int>(150 * t);
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "style=filled, fillcolor=\"#%02x%02xff\"",
+                          blue, blue);
+            return std::string(buf);
+        };
+        std::fprintf(stderr, "%s: %zu nodes, %zu edges\n", g.name().c_str(),
+                     g.num_nodes(), g.num_edges());
+        write_dot(std::cout, g, style);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+    return 0;
+}

@@ -10,6 +10,14 @@
 // d_v/2m (tests/core/random_walk_test.cpp correlates the empirical
 // histogram against graph/spectral.h's prediction), and hitting
 // experiments (E8) measure territory discovery.
+//
+// Degree-0 precondition: the connectivity requirement of the model means
+// a node of degree 0 can only be the sole node of a 1-node graph (e.g.
+// make_family(f, 1, s) for path/binary_tree, or a star whose center was
+// removed leaving a single leaf as its own instance). Such a node is
+// treated as absorbing — tokens launched there stay resident forever and
+// the ensemble is a no-op. All drivers here accept that case; they never
+// sample a random port on a degree-0 node.
 #pragma once
 
 #include <cstdint>
@@ -46,7 +54,10 @@ public:
             ctx.halt();
             return;
         }
-        if (resident_ == 0) return;
+        // A degree-0 node (possible only on the 1-node graph — the model
+        // requires connectivity) is absorbing: every token stays, and the
+        // lazy-move draw below (rng.below(degree_)) is never reached.
+        if (resident_ == 0 || degree_ == 0) return;
         if (out_.size() != degree_) out_.assign(degree_, 0);
         touched_.clear();
         std::uint64_t staying = 0;

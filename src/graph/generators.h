@@ -9,16 +9,24 @@
 //   torus, grid2d — moderate expansion, tmix = Θ(n) for square shapes.
 //   cycle, path — Φ = Θ(1/n), tmix = Θ(n²): the adversarial end, and the
 //       topology of the Theorem 2 pumping-wheel construction.
-//   ring_of_cliques, barbell, lollipop — conductance *dials*: fix n, vary
-//       the bottleneck, for the E4 crossover experiment.
-//   star, binary_tree — degenerate/hierarchical sanity topologies.
+//   ring_of_cliques, barbell, dumbbell, lollipop — conductance *dials*:
+//       fix n, vary the bottleneck, for the E4 crossover experiment.
+//   star, binary_tree, wheel — degenerate/hierarchical sanity topologies.
+//   watts_strogatz, barabasi_albert, random_geometric,
+//   connected_caveman — the "zoo" beyond the textbook families: clustered
+//       small-worlds, heavy-tailed degrees, proximity meshes and caves,
+//       stressing the Φ/tmix axes between the clean extremes above.
 //
 // Generators attach analytic `graph_facts` when textbook-exact values are
 // cheap (documented per generator); estimators fill the rest at runtime.
+// docs/TOPOLOGIES.md catalogs every family: construction, measured
+// Φ/i(G)/tmix trends, and which paper regime it stresses.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/graph.h"
@@ -79,6 +87,57 @@ namespace anole {
 // k >= 2, tail >= 1. The classic worst case for hitting times.
 [[nodiscard]] graph make_lollipop(std::size_t k, std::size_t tail);
 
+// Dumbbell: two K_k cliques joined by a path of `bar` intermediate nodes
+// (bar = 0 degenerates to the barbell). k >= 2, n = 2k + bar.
+// Facts: diameter bar + 3. The bar stretches the bottleneck: Φ = Θ(1/k²)
+// like the barbell but tmix grows with bar² on top — the near-zero-
+// conductance corner of the zoo.
+[[nodiscard]] graph make_dumbbell(std::size_t k, std::size_t bar);
+
+// Wheel W_n: node 0 is the hub, nodes 1..n-1 form a cycle, every rim node
+// also connects to the hub. n >= 4. Facts: diameter 1 (n = 4), else 2.
+// Constant Φ with a Θ(n)-degree hub: a hub-and-spoke sanity topology
+// whose rim (unlike the star's leaves) is itself connected.
+[[nodiscard]] graph make_wheel(std::size_t n);
+
+// Watts–Strogatz small world: ring lattice where each node connects to
+// its k/2 nearest neighbors per side, then each edge is rewired to a
+// uniform random endpoint with probability beta (self-loops/duplicates
+// skipped; edge count is preserved). Resampled until connected (throws
+// after max_attempts). Requires k even, 2 <= k < n, beta in [0, 1].
+// beta = 0 is the exact lattice; small beta keeps the lattice's
+// clustering while shortcuts collapse the diameter — the regime between
+// cycle (tmix = Θ(n²)) and expander (tmix = polylog).
+[[nodiscard]] graph make_watts_strogatz(std::size_t n, std::size_t k, double beta,
+                                        std::uint64_t seed,
+                                        std::size_t max_attempts = 1000);
+
+// Barabási–Albert preferential attachment: seed clique K_{m+1}, then
+// each new node attaches to `m` distinct existing nodes sampled
+// proportionally to degree. Requires 1 <= m, n >= m + 1. Connected by
+// construction; heavy-tailed degrees (hubs of degree ~√n) make the walk
+// stationary distribution maximally non-uniform.
+[[nodiscard]] graph make_barabasi_albert(std::size_t n, std::size_t m,
+                                         std::uint64_t seed);
+
+// Random geometric graph: n points uniform in the unit square, edge iff
+// Euclidean distance <= radius. Resampled until connected (throws after
+// max_attempts; connectivity whp needs radius >= √(ln n / (π n))).
+// Spatial clustering without hubs — the "ad-hoc mesh" regime.
+[[nodiscard]] graph make_random_geometric(std::size_t n, double radius,
+                                          std::uint64_t seed,
+                                          std::size_t max_attempts = 1000);
+
+// Connected caveman: `num_caves` cliques of `cave_size` nodes in a ring;
+// in each cave the edge between members 0 and 1 is re-pointed to member 1
+// of the next cave. Every node has degree cave_size - 1 (the graph is
+// regular), unlike ring_of_cliques whose gateways gain degree.
+// num_caves >= 3, cave_size >= 3 (size 2 would be 1-regular — a perfect
+// matching, disconnected). Clustered low-Φ meshes: Φ = Θ(1/(num_caves
+// · cave_size²)) with maximal clustering coefficient inside caves.
+[[nodiscard]] graph make_connected_caveman(std::size_t num_caves,
+                                           std::size_t cave_size);
+
 // --- registry for parameterized tests/benches ---
 
 enum class graph_family {
@@ -95,14 +154,33 @@ enum class graph_family {
     ring_of_cliques,
     barbell,
     lollipop,
+    dumbbell,
+    wheel,
+    watts_strogatz,
+    barabasi_albert,
+    random_geometric,
+    connected_caveman,
 };
 
 [[nodiscard]] const char* to_string(graph_family f) noexcept;
 
+// Inverse of to_string, plus the short aliases the campaign CLI accepts:
+// "ws" (watts_strogatz), "ba" (barabasi_albert), "rgg"/"geometric"
+// (random_geometric), "caveman" (connected_caveman), "er" (erdos_renyi),
+// "grid" (grid2d), "tree" (binary_tree). Returns nullopt for unknown
+// names.
+[[nodiscard]] std::optional<graph_family> family_from_string(std::string_view name);
+
 // Builds a family instance of approximately `n` nodes with sensible shape
 // defaults (square torus, degree-4 regular, p = 3 ln n / n for ER, √n
-// cliques of √n nodes for ring_of_cliques, ...). The returned graph's
+// cliques of √n nodes for ring_of_cliques, k = 4 / beta = 0.15 for
+// watts_strogatz, m = 2 for barabasi_albert, ...). The returned graph's
 // num_nodes() may differ slightly from n (e.g. squares, powers of two).
+// Accepts n >= 1; families with a structural minimum (cycle needs 3,
+// wheel needs 4, grid2d clamps to 2x2, ...) clamp n up to it, so every
+// family yields a valid graph at every size — only path and binary_tree
+// produce the n = 1 singleton with a degree-0 node (see the degree-0
+// precondition notes in core/random_walk.h).
 [[nodiscard]] graph make_family(graph_family f, std::size_t n, std::uint64_t seed);
 
 // All families, for TEST_P instantiations.

@@ -1,0 +1,358 @@
+#include "sim/campaign.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/stats.h"
+
+namespace anole {
+
+// --- declaration ------------------------------------------------------------
+
+void campaign_spec::validate() const {
+    require(!families.empty(), "campaign: need at least one family");
+    require(!sizes.empty(), "campaign: need at least one size");
+    require(!variants.empty(), "campaign: need at least one variant");
+    require(seeds >= 1, "campaign: seeds >= 1");
+}
+
+std::optional<algo_kind> variant_from_string(std::string_view name) {
+    for (const algo_kind k :
+         {algo_kind::flood_max, algo_kind::gilbert, algo_kind::irrevocable,
+          algo_kind::revocable, algo_kind::cautious_broadcast}) {
+        if (name == to_string(k)) return k;
+    }
+    if (name == "flood") return algo_kind::flood_max;
+    if (name == "cautious") return algo_kind::cautious_broadcast;
+    return std::nullopt;
+}
+
+algo_config campaign_default_config(algo_kind k, std::size_t n, std::size_t edges) {
+    switch (k) {
+        case algo_kind::flood_max: return flood_cfg{};
+        case algo_kind::gilbert: return gilbert_cfg{};
+        case algo_kind::irrevocable: return irrevocable_cfg{};
+        case algo_kind::revocable: {
+            revocable_cfg rc;
+            // Campaigns sweep cells the dedicated revocable bench never
+            // attempts (n >= 64, low-Φ zoo families), so the policy is
+            // scaled harder than bench_revocable's (0.02, 0.12) and blind
+            // on purpose: informed mode's r(k) carries a 1/i(G)² factor
+            // that is astronomical on barbell/dumbbell/caveman, while
+            // blind r(k) depends on k alone.
+            rc.params = revocable_params::scaled(std::nullopt, 0.008, 0.05);
+            rc.auto_isoperimetric = false;
+            // Certification needs k ≳ √n; past k = 16 each estimate level
+            // costs ~64x the previous one, so the ladder is capped there
+            // and cells with n ≫ 256 report failure instead of stalling.
+            rc.params.k_cap = 16;
+            // Hard per-unit budget. Diffusion exchanges ~2m messages per
+            // round, so bounding rounds·m bounds a hopeless cell's actual
+            // work; the estimate is dense (n²/8) when the true edge count
+            // is unknown.
+            const std::size_t m = edges > 0 ? edges : std::max<std::size_t>(
+                                                          n * n / 8, std::size_t{1});
+            rc.max_rounds = std::clamp<std::uint64_t>(400'000'000 / m, 20'000,
+                                                      2'000'000);
+            return rc;
+        }
+        case algo_kind::cautious_broadcast: {
+            cautious_cfg cc;
+            cc.cap_x = 1.0;
+            return cc;
+        }
+    }
+    throw error("campaign_default_config: unknown variant");
+}
+
+campaign_spec campaign_spec_from_json(const std::string& text) {
+    const json_value v = json_parse(text);
+    campaign_spec spec;
+    for (const auto& [key, val] : v.as_object()) {
+        if (key == "families") {
+            for (const auto& f : val.as_array()) {
+                const auto fam = family_from_string(f.as_string());
+                require(fam.has_value(),
+                        "campaign spec: unknown family '" + f.as_string() + "'");
+                spec.families.push_back(*fam);
+            }
+        } else if (key == "sizes") {
+            for (const auto& s : val.as_array()) {
+                spec.sizes.push_back(static_cast<std::size_t>(s.as_uint()));
+            }
+        } else if (key == "variants") {
+            for (const auto& a : val.as_array()) {
+                const auto kind = variant_from_string(a.as_string());
+                require(kind.has_value(),
+                        "campaign spec: unknown variant '" + a.as_string() + "'");
+                spec.variants.push_back(*kind);
+            }
+        } else if (key == "seeds") {
+            spec.seeds = static_cast<std::size_t>(val.as_uint());
+        } else if (key == "base_seed") {
+            spec.base_seed = val.as_uint();
+        } else if (key == "topology_seed") {
+            spec.topology_seed = val.as_uint();
+        } else if (key == "output") {
+            spec.output = val.as_string();
+        } else {
+            throw error("campaign spec: unknown key '" + key + "'");
+        }
+    }
+    spec.validate();
+    return spec;
+}
+
+// --- expansion --------------------------------------------------------------
+
+std::string campaign_unit::key() const {
+    return std::string(to_string(family)) + "/" + std::to_string(n) + "/t" +
+           std::to_string(topology_seed) + "/" + to_string(variant) + "/" +
+           std::to_string(seed);
+}
+
+std::vector<campaign_unit> expand(const campaign_spec& spec) {
+    spec.validate();
+    std::vector<campaign_unit> units;
+    units.reserve(spec.families.size() * spec.sizes.size() * spec.variants.size() *
+                  spec.seeds);
+    for (const graph_family f : spec.families) {
+        for (const std::size_t n : spec.sizes) {
+            for (const algo_kind v : spec.variants) {
+                for (std::size_t r = 0; r < spec.seeds; ++r) {
+                    units.push_back({f, n, spec.topology_seed, v,
+                                     spec.base_seed + r});
+                }
+            }
+        }
+    }
+    return units;
+}
+
+// --- records ----------------------------------------------------------------
+
+std::string campaign_record::to_json() const {
+    std::ostringstream os;
+    os << "{\"key\":\"" << json_escape(unit.key()) << "\""
+       << ",\"family\":\"" << to_string(unit.family) << "\""
+       << ",\"n\":" << unit.n << ",\"topology_seed\":" << unit.topology_seed
+       << ",\"variant\":\"" << to_string(unit.variant) << "\""
+       << ",\"seed\":" << unit.seed << ",\"nodes\":" << nodes
+       << ",\"edges\":" << edges << ",\"phi\":" << phi << ",\"tmix\":" << tmix
+       << ",\"ok\":" << (ok ? "true" : "false")
+       << ",\"success\":" << (success ? "true" : "false")
+       << ",\"leaders\":" << leaders << ",\"rounds\":" << rounds
+       << ",\"messages\":" << messages << ",\"bits\":" << bits
+       << ",\"congest_rounds\":" << congest_rounds << ",\"error\":\""
+       << json_escape(error) << "\"}";
+    return os.str();
+}
+
+campaign_record campaign_record::from_json(const std::string& line) {
+    const json_value v = json_parse(line);
+    campaign_record rec;
+    const auto fam = family_from_string(v.at("family").as_string());
+    require(fam.has_value(), "campaign record: unknown family");
+    const auto var = variant_from_string(v.at("variant").as_string());
+    require(var.has_value(), "campaign record: unknown variant");
+    rec.unit.family = *fam;
+    rec.unit.n = static_cast<std::size_t>(v.at("n").as_uint());
+    rec.unit.topology_seed = v.at("topology_seed").as_uint();
+    rec.unit.variant = *var;
+    rec.unit.seed = v.at("seed").as_uint();
+    rec.nodes = static_cast<std::size_t>(v.at("nodes").as_uint());
+    rec.edges = static_cast<std::size_t>(v.at("edges").as_uint());
+    rec.phi = v.at("phi").as_number();
+    rec.tmix = v.at("tmix").as_uint();
+    rec.ok = v.at("ok").as_bool();
+    rec.success = v.at("success").as_bool();
+    rec.leaders = static_cast<std::size_t>(v.at("leaders").as_uint());
+    rec.rounds = v.at("rounds").as_uint();
+    rec.messages = v.at("messages").as_uint();
+    rec.bits = v.at("bits").as_uint();
+    rec.congest_rounds = v.at("congest_rounds").as_uint();
+    rec.error = v.at("error").as_string();
+    return rec;
+}
+
+// --- aggregation ------------------------------------------------------------
+
+text_table campaign_table(const std::vector<campaign_record>& records) {
+    text_table t({"family", "n", "variant", "runs", "ok", "elected", "phi", "tmix",
+                  "messages", "rounds"});
+    // Group by (family, n, variant) preserving first-appearance order.
+    std::vector<std::string> order;
+    std::map<std::string, std::vector<const campaign_record*>> groups;
+    for (const auto& r : records) {
+        const std::string k = std::string(to_string(r.unit.family)) + "/" +
+                              std::to_string(r.unit.n) + "/" +
+                              to_string(r.unit.variant);
+        auto [it, inserted] = groups.try_emplace(k);
+        if (inserted) order.push_back(k);
+        it->second.push_back(&r);
+    }
+    for (const std::string& k : order) {
+        const auto& g = groups[k];
+        std::size_t ok = 0, elected = 0;
+        sample_stats msgs, rounds;
+        for (const campaign_record* r : g) {
+            if (!r->ok) continue;
+            ++ok;
+            if (r->leaders == 1) ++elected;
+            msgs.add(static_cast<double>(r->messages));
+            rounds.add(static_cast<double>(r->rounds));
+        }
+        const campaign_record& head = *g.front();
+        t.add_row({to_string(head.unit.family), std::to_string(head.unit.n),
+                   to_string(head.unit.variant),
+                   std::to_string(g.size()),
+                   std::to_string(ok) + "/" + std::to_string(g.size()),
+                   std::to_string(elected) + "/" + std::to_string(ok),
+                   fmt_fixed(head.phi, 5), std::to_string(head.tmix),
+                   msgs.empty()
+                       ? "-"
+                       : fmt_count(static_cast<std::uint64_t>(msgs.mean())),
+                   rounds.empty()
+                       ? "-"
+                       : fmt_count(static_cast<std::uint64_t>(rounds.mean()))});
+    }
+    return t;
+}
+
+// --- execution --------------------------------------------------------------
+
+namespace {
+
+campaign_record make_record(const campaign_unit& unit, const scenario_result& res) {
+    campaign_record rec;
+    rec.unit = unit;
+    rec.nodes = res.profile.n;
+    rec.edges = res.profile.m;
+    rec.phi = res.profile.conductance;
+    rec.tmix = res.profile.mixing_time;
+    require(res.runs.size() == 1, "campaign: unit scenarios run one repetition");
+    const run_record& run = res.runs.front();
+    rec.ok = run.ok;
+    rec.success = run.success();
+    rec.leaders = run.num_leaders();
+    rec.rounds = run.rounds();
+    rec.messages = run.totals().messages;
+    rec.bits = run.totals().bits;
+    rec.congest_rounds = run.totals().congest_rounds;
+    rec.error = run.error;
+    return rec;
+}
+
+// Records already present in the output file, keyed for resume. Torn or
+// foreign lines are skipped — those units simply re-run.
+std::map<std::string, campaign_record> load_completed(const std::string& path) {
+    std::map<std::string, campaign_record> done;
+    if (path.empty()) return done;
+    std::ifstream in(path);
+    if (!in) return done;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        try {
+            campaign_record rec = campaign_record::from_json(line);
+            done.emplace(rec.unit.key(), std::move(rec));
+        } catch (const error&) {
+            continue;
+        }
+    }
+    return done;
+}
+
+}  // namespace
+
+campaign_report run_campaign(const campaign_spec& spec, scenario_runner& runner) {
+    spec.validate();
+    const std::vector<campaign_unit> units = expand(spec);
+    const std::map<std::string, campaign_record> done = load_completed(spec.output);
+
+    std::ofstream out;
+    if (!spec.output.empty()) {
+        // A SIGKILL mid-write can leave the file ending in a torn line
+        // with no newline; appending straight after it would glue the
+        // next record into one unparseable line. Start a fresh line
+        // first (blank lines are skipped on load).
+        bool needs_newline = false;
+        {
+            std::ifstream probe(spec.output, std::ios::binary | std::ios::ate);
+            if (probe && probe.tellg() > 0) {
+                probe.seekg(-1, std::ios::end);
+                char last = '\n';
+                probe.get(last);
+                needs_newline = last != '\n';
+            }
+        }
+        out.open(spec.output, std::ios::app);
+        require(out.good(), "campaign: cannot open output '" + spec.output + "'");
+        if (needs_newline) out << "\n";
+    }
+
+    campaign_report report;
+    std::map<std::string, campaign_record> fresh;
+
+    // One batch per topology group: all variants and seeds of a
+    // (family, size) share the generated graph and its profile through
+    // the runner caches, and the file is flushed between groups.
+    const std::size_t group = spec.variants.size() * spec.seeds;
+    for (std::size_t base = 0; base < units.size(); base += group) {
+        std::vector<const campaign_unit*> pending;
+        for (std::size_t i = base; i < base + group; ++i) {
+            if (done.count(units[i].key())) {
+                ++report.skipped;
+            } else {
+                pending.push_back(&units[i]);
+            }
+        }
+        if (pending.empty()) continue;
+
+        // Materialize the group's topology up front (cached — run_batch
+        // reuses the same instance) so per-variant budgets can read the
+        // actual edge count.
+        const family_spec fs{pending.front()->family, pending.front()->n,
+                             spec.topology_seed};
+        const graph& topo = runner.materialize(fs);
+
+        std::vector<scenario> batch;
+        batch.reserve(pending.size());
+        for (const campaign_unit* u : pending) {
+            scenario s;
+            s.label = u->key();
+            s.topology = family_spec{u->family, u->n, spec.topology_seed};
+            s.algo = campaign_default_config(u->variant, u->n, topo.num_edges());
+            s.seed = u->seed;
+            s.repetitions = 1;
+            batch.push_back(std::move(s));
+        }
+        const std::vector<scenario_result> results = runner.run_batch(batch);
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            campaign_record rec = make_record(*pending[i], results[i]);
+            ++report.executed;
+            if (!rec.ok) ++report.failed;
+            if (out.is_open()) out << rec.to_json() << "\n";
+            fresh.emplace(rec.unit.key(), std::move(rec));
+        }
+        if (out.is_open()) out.flush();
+    }
+
+    // Assemble every record — resumed + fresh — in expansion order.
+    report.records.reserve(units.size());
+    for (const campaign_unit& u : units) {
+        const std::string k = u.key();
+        if (auto it = fresh.find(k); it != fresh.end()) {
+            report.records.push_back(it->second);
+        } else if (auto it2 = done.find(k); it2 != done.end()) {
+            report.records.push_back(it2->second);
+        }
+    }
+    return report;
+}
+
+}  // namespace anole

@@ -1,0 +1,144 @@
+// anole — declarative campaign engine on top of the ScenarioRunner.
+//
+// A campaign is a cartesian sweep {families × sizes × algorithm variants
+// × seeds} declared once (flags or a JSON spec file) and expanded into
+// one atomic unit of work per coordinate — a single repetition of one
+// algorithm on one topology instance. The engine:
+//
+//   * groups units by topology, so every variant and seed of a given
+//     (family, n) shares one generated graph AND one measured profile
+//     through the runner's caches (profiles are the expensive step:
+//     spectral estimation + mixing simulation — computed once per
+//     topology per campaign instead of once per bench as before);
+//   * streams one JSON record per completed unit to a JSONL file,
+//     flushed after every topology group, so a killed campaign loses at
+//     most the group in flight;
+//   * resumes by reading that file back: units whose key is already
+//     recorded are skipped, never re-run (campaign_report::skipped says
+//     how many);
+//   * aggregates everything — fresh and previously recorded runs — into
+//     a per-(family, n, variant) table emitted through the existing
+//     --json/--csv table path.
+//
+// Record order in the file is deterministic: topology groups in spec
+// order, units in (variant, seed) order within a group — independent of
+// --jobs (the runner's batch API returns results in input order).
+// docs/CAMPAIGNS.md documents the spec schema and resume semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+#include "util/table.h"
+
+namespace anole {
+
+// --- declaration ------------------------------------------------------------
+
+struct campaign_spec {
+    std::vector<graph_family> families;
+    std::vector<std::size_t> sizes;
+    std::vector<algo_kind> variants;
+    // Repetitions per (family, size, variant) cell; unit r runs with
+    // seed base_seed + r.
+    std::size_t seeds = 3;
+    std::uint64_t base_seed = 1;
+    // Seed of the generated topology instances (one instance per
+    // (family, size), shared by every variant and run seed).
+    std::uint64_t topology_seed = 1;
+    // JSONL path records stream to; empty = in-memory only (no resume).
+    std::string output;
+
+    void validate() const;
+};
+
+// Parses the JSON spec schema of docs/CAMPAIGNS.md:
+//   {"families": ["barbell", "ws"], "sizes": [64, 256],
+//    "variants": ["revocable", "cautious"], "seeds": 8,
+//    "base_seed": 1, "topology_seed": 1, "output": "campaign.jsonl"}
+// Unknown families/variants/keys throw anole::error.
+[[nodiscard]] campaign_spec campaign_spec_from_json(const std::string& text);
+
+// Variant-name parser for flags and spec files: accepts the algo_kind
+// to_string names plus "flood" and "cautious". nullopt for unknown.
+[[nodiscard]] std::optional<algo_kind> variant_from_string(std::string_view name);
+
+// The per-variant default configuration campaigns run at requested size
+// n with `edges` edges (0 = unknown, assume dense). flood/gilbert/
+// irrevocable use profile-auto-filled defaults; revocable uses a blind,
+// hard-budgeted scaled policy (the paper's faithful phase lengths are
+// poly(n⁸) — not sweepable; hopeless cells must report failure in
+// bounded time, not stall the campaign); cautious uses the x = 1
+// territory cap.
+[[nodiscard]] algo_config campaign_default_config(algo_kind k, std::size_t n,
+                                                  std::size_t edges = 0);
+
+// --- expansion --------------------------------------------------------------
+
+// One atomic unit: a single repetition at one sweep coordinate.
+struct campaign_unit {
+    graph_family family;
+    std::size_t n = 0;  // requested size (the instance may differ slightly)
+    std::uint64_t topology_seed = 1;  // instance seed (spec-wide)
+    algo_kind variant;
+    std::uint64_t seed = 0;
+
+    // Resume key: "family/n/t<topology_seed>/variant/seed". The topology
+    // seed is part of the key so re-running against the same file with
+    // resampled instances (--topology-seed) re-runs rather than silently
+    // skipping records measured on different graphs.
+    [[nodiscard]] std::string key() const;
+};
+
+// Full cartesian expansion in deterministic order: (family, size) outer
+// (topology groups), (variant, seed) inner.
+[[nodiscard]] std::vector<campaign_unit> expand(const campaign_spec& spec);
+
+// --- results ----------------------------------------------------------------
+
+// One JSONL line; holds everything the aggregate tables need so resumed
+// campaigns never re-run completed units.
+struct campaign_record {
+    campaign_unit unit;
+    std::size_t nodes = 0;  // actual instance size
+    std::size_t edges = 0;
+    double phi = 0;
+    std::uint64_t tmix = 0;
+    bool ok = false;
+    bool success = false;
+    std::size_t leaders = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t bits = 0;
+    std::uint64_t congest_rounds = 0;
+    std::string error;
+
+    [[nodiscard]] std::string to_json() const;  // one line, no trailing \n
+    [[nodiscard]] static campaign_record from_json(const std::string& line);
+};
+
+struct campaign_report {
+    std::size_t executed = 0;  // units run in this invocation
+    std::size_t skipped = 0;   // units found already recorded
+    std::size_t failed = 0;    // executed units with ok == false
+    // All units in expansion order, recorded + fresh.
+    std::vector<campaign_record> records;
+};
+
+// Aggregate per-(family, n, variant) table over the records: run/ok
+// counts, election rate, message/round statistics, profile columns.
+[[nodiscard]] text_table campaign_table(const std::vector<campaign_record>& records);
+
+// --- execution --------------------------------------------------------------
+
+// Runs the campaign on `runner` (which supplies the thread pool and the
+// shared topology/profile caches). If spec.output names an existing
+// JSONL file, its records are loaded first and those units are skipped;
+// fresh records are appended to the same file, flushed per topology
+// group. Lines that fail to parse are ignored (a torn final line from a
+// killed run is expected, and the unit simply re-runs).
+campaign_report run_campaign(const campaign_spec& spec, scenario_runner& runner);
+
+}  // namespace anole

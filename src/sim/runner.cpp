@@ -140,6 +140,16 @@ const graph_profile& scenario_runner::profile_for(const graph& g) {
     return *it->second;
 }
 
+std::size_t scenario_runner::cached_graphs() const {
+    std::unique_lock<std::mutex> lk(mu_);
+    return graphs_.size();
+}
+
+std::size_t scenario_runner::cached_profiles() const {
+    std::unique_lock<std::mutex> lk(mu_);
+    return profiles_.size();
+}
+
 // --- scenario execution ------------------------------------------------------
 
 scenario_result scenario_runner::prepare(const scenario& s) {

@@ -51,6 +51,11 @@ public:
     const graph& materialize(const topology_spec& spec);
     const graph_profile& profile_for(const graph& g);
 
+    // Cache sizes — lets callers (campaign tests, perf assertions) verify
+    // that sweeps sharing a topology really shared its graph and profile.
+    [[nodiscard]] std::size_t cached_graphs() const;
+    [[nodiscard]] std::size_t cached_profiles() const;
+
     // One repetition, no pooling — the primitive run()/run_batch() fan
     // out. Exposed for tests and custom harnesses.
     [[nodiscard]] static run_record run_once(const graph& g, const graph_profile& prof,
@@ -68,7 +73,7 @@ private:
     scenario_result prepare(const scenario& s);
 
     thread_pool pool_;
-    std::mutex mu_;
+    mutable std::mutex mu_;
     // Generated graphs keyed by (family, n, seed); profiles keyed by
     // graph identity (works for both generated and borrowed graphs).
     std::map<std::tuple<graph_family, std::size_t, std::uint64_t>,

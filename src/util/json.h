@@ -1,0 +1,78 @@
+// anole — minimal JSON reader + string escaping.
+//
+// The campaign engine (sim/campaign.h) persists one JSON object per run
+// to a JSONL file and reads it back on resume, and accepts a JSON
+// campaign spec file. This is the small recursive-descent parser backing
+// both: objects, arrays, strings (with \uXXXX escapes decoded to UTF-8),
+// numbers (as double), booleans and null — the full value grammar of RFC
+// 8259 minus implementation limits we don't need (numbers beyond double,
+// >256 nesting levels). Writing stays hand-rolled at the call sites
+// (every record is a flat object), so only `json_escape` is exported for
+// that direction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/error.h"
+
+namespace anole {
+
+class json_value {
+public:
+    using array = std::vector<json_value>;
+    using object = std::map<std::string, json_value>;
+
+    json_value() : v_(nullptr) {}
+    json_value(std::nullptr_t) : v_(nullptr) {}
+    json_value(bool b) : v_(b) {}
+    json_value(double d) : v_(d) {}
+    json_value(std::string s) : v_(std::move(s)) {}
+    json_value(array a) : v_(std::move(a)) {}
+    json_value(object o) : v_(std::move(o)) {}
+
+    [[nodiscard]] bool is_null() const noexcept {
+        return std::holds_alternative<std::nullptr_t>(v_);
+    }
+    [[nodiscard]] bool is_bool() const noexcept { return std::holds_alternative<bool>(v_); }
+    [[nodiscard]] bool is_number() const noexcept {
+        return std::holds_alternative<double>(v_);
+    }
+    [[nodiscard]] bool is_string() const noexcept {
+        return std::holds_alternative<std::string>(v_);
+    }
+    [[nodiscard]] bool is_array() const noexcept { return std::holds_alternative<array>(v_); }
+    [[nodiscard]] bool is_object() const noexcept {
+        return std::holds_alternative<object>(v_);
+    }
+
+    // Typed accessors; throw anole::error on type mismatch.
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] double as_number() const;
+    [[nodiscard]] std::uint64_t as_uint() const;  // number, checked >= 0
+    [[nodiscard]] const std::string& as_string() const;
+    [[nodiscard]] const array& as_array() const;
+    [[nodiscard]] const object& as_object() const;
+
+    // Object member access; `contains` + throwing `at`.
+    [[nodiscard]] bool contains(const std::string& key) const;
+    [[nodiscard]] const json_value& at(const std::string& key) const;
+
+private:
+    std::variant<std::nullptr_t, bool, double, std::string, array, object> v_;
+};
+
+// Parses exactly one JSON value (leading/trailing whitespace allowed;
+// anything else after the value is an error). Throws anole::error with a
+// byte offset on malformed input.
+[[nodiscard]] json_value json_parse(std::string_view text);
+
+// Escapes `s` for embedding inside a JSON string literal (quotes not
+// included): ", \, control characters -> \uXXXX.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace anole

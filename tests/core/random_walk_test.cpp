@@ -85,5 +85,23 @@ TEST(WalkEnsemble, SourceOutOfRangeThrows) {
     EXPECT_THROW((void)run_walk_ensemble(g, 100, 10, 10, 1), error);
 }
 
+TEST(WalkEnsemble, DegreeZeroNodeIsAbsorbing) {
+    // The 1-node graph (the only legal degree-0 instance under the
+    // connectivity requirement) must keep every token resident instead
+    // of sampling a random port — see the precondition note in
+    // core/random_walk.h.
+    const graph g(1, {}, "singleton");
+    const auto r = run_walk_ensemble(g, 0, 250, 20, 5);
+    ASSERT_EQ(r.resident.size(), 1u);
+    EXPECT_EQ(r.resident[0], 250u);
+    EXPECT_EQ(r.total_tokens, 250u);
+    EXPECT_EQ(r.totals.messages, 0u);
+
+    // And the n = 1 instances make_family can produce behave the same.
+    const graph p1 = make_family(graph_family::path, 1, 1);
+    ASSERT_EQ(p1.num_nodes(), 1u);
+    EXPECT_EQ(run_walk_ensemble(p1, 0, 7, 5, 1).resident[0], 7u);
+}
+
 }  // namespace
 }  // namespace anole

@@ -1,0 +1,75 @@
+// Tests for util/json.h — the minimal parser behind campaign specs and
+// JSONL resume records.
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace anole {
+namespace {
+
+TEST(Json, ParsesScalars) {
+    EXPECT_TRUE(json_parse("null").is_null());
+    EXPECT_TRUE(json_parse("true").as_bool());
+    EXPECT_FALSE(json_parse("false").as_bool());
+    EXPECT_DOUBLE_EQ(json_parse("3.25").as_number(), 3.25);
+    EXPECT_DOUBLE_EQ(json_parse("-17").as_number(), -17.0);
+    EXPECT_DOUBLE_EQ(json_parse("1e3").as_number(), 1000.0);
+    EXPECT_EQ(json_parse("\"hi\"").as_string(), "hi");
+    EXPECT_EQ(json_parse("  42  ").as_uint(), 42u);
+}
+
+TEST(Json, ParsesContainers) {
+    const json_value v = json_parse(
+        R"({"families": ["barbell", "ws"], "sizes": [64, 256], "seeds": 8,
+            "nested": {"deep": [true, null]}})");
+    ASSERT_TRUE(v.is_object());
+    EXPECT_EQ(v.at("families").as_array().size(), 2u);
+    EXPECT_EQ(v.at("families").as_array()[1].as_string(), "ws");
+    EXPECT_EQ(v.at("sizes").as_array()[1].as_uint(), 256u);
+    EXPECT_EQ(v.at("seeds").as_uint(), 8u);
+    EXPECT_TRUE(v.at("nested").at("deep").as_array()[0].as_bool());
+    EXPECT_TRUE(v.at("nested").at("deep").as_array()[1].is_null());
+    EXPECT_TRUE(v.contains("seeds"));
+    EXPECT_FALSE(v.contains("missing"));
+}
+
+TEST(Json, ParsesEmptyContainers) {
+    EXPECT_TRUE(json_parse("{}").as_object().empty());
+    EXPECT_TRUE(json_parse("[]").as_array().empty());
+    EXPECT_TRUE(json_parse("[ ]").as_array().empty());
+}
+
+TEST(Json, DecodesStringEscapes) {
+    EXPECT_EQ(json_parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+    EXPECT_EQ(json_parse(R"("Aé")").as_string(), "A\xc3\xa9");
+    // Surrogate pair: U+1F600.
+    EXPECT_EQ(json_parse(R"("😀")").as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedInput) {
+    for (const char* bad :
+         {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "01a", "1 2",
+          "{\"a\" 1}", "\"bad \\x escape\"", "nul", "[1,2,]x"}) {
+        EXPECT_THROW((void)json_parse(bad), error) << "input: " << bad;
+    }
+}
+
+TEST(Json, TypeMismatchesThrow) {
+    const json_value v = json_parse(R"({"a": 1})");
+    EXPECT_THROW((void)v.as_array(), error);
+    EXPECT_THROW((void)v.at("a").as_string(), error);
+    EXPECT_THROW((void)v.at("b"), error);
+    EXPECT_THROW((void)json_parse("-1").as_uint(), error);
+    EXPECT_THROW((void)json_parse("1.5").as_uint(), error);
+}
+
+TEST(Json, EscapeRoundTripsThroughParse) {
+    const std::string nasty = "quote\" backslash\\ newline\n tab\t ctrl\x01 end";
+    std::string wire = "\"";  // append: dodges the GCC 12 -Wrestrict bug
+    wire.append(json_escape(nasty));
+    wire.append("\"");
+    EXPECT_EQ(json_parse(wire).as_string(), nasty);
+}
+
+}  // namespace
+}  // namespace anole
