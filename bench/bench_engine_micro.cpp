@@ -1,0 +1,558 @@
+// Engine microbenchmark + perf-regression gate.
+//
+// Measures the two hot paths this repo's every experiment bottoms out in
+// and compares them against their pre-flat-slot predecessors, which are
+// replicated here so the before/after is measured, not recalled:
+//
+//   1. round dispatch — flat single-writer slot transport vs the legacy
+//      vector-inbox engine (per-node vector<pair> inboxes cleared every
+//      round, per-sender stamp array, per-send metrics map lookup);
+//   2. walk ensembles — O(degree) binomial/multinomial rounds vs the
+//      per-token coin-flip loop (run on the same flat engine, so the
+//      sampling change is isolated);
+//   3. parallel identity — sharded rounds must be bitwise-identical to
+//      serial on every topology family in the zoo.
+//
+// Output follows the BENCH_*.json trajectory schema (docs/BENCHMARKS.md);
+// the committed baseline lives at BENCH_ENGINE.json in the repo root and
+// CI regenerates + gates against it (see --check below).
+//
+// Flags:
+//   --quick          tiny sizes (smoke only; numbers not baseline-comparable)
+//   --csv / --json   machine-readable output after each table
+//   --json-out FILE  write the JSON objects (one per line) to FILE
+//   --check FILE     compare against a baseline produced by --json-out:
+//                    the machine-independent speedup columns may not
+//                    fall below baseline/3 (a generous hard-regression
+//                    gate — both sides of each ratio run on the same
+//                    host, so runner speed cancels), and the identity
+//                    column must stay "yes". Exits 1 on regression.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/random_walk.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace anole {
+namespace {
+
+// --- the round-dispatch workload ---------------------------------------------
+
+struct micro_msg {
+    std::uint8_t x = 0;
+    [[nodiscard]] std::size_t bit_size() const noexcept { return 8; }
+};
+
+// One message per port per round: the delivery-dominated regime where
+// transport cost is everything.
+class all_ports_proc {
+public:
+    using message_type = micro_msg;
+    explicit all_ports_proc(std::size_t degree) : degree_(degree) {}
+    void on_round(node_ctx<micro_msg>& ctx, inbox_view<micro_msg> inbox) {
+        for (const auto& [port, msg] : inbox) acc_ += msg.x + port;
+        for (port_id p = 0; p < degree_; ++p) ctx.send(p, micro_msg{});
+    }
+    std::uint64_t acc_ = 0;
+
+private:
+    std::size_t degree_;
+};
+
+// --- legacy engine replica ---------------------------------------------------
+//
+// The pre-flat-slot hot path, replicated faithfully from the seed
+// engine: per-node vector<pair> inboxes cleared n-at-a-time every round,
+// a per-sender stamp array for the double-send check, the per-send
+// fragmentation division, a sim_metrics::count_message call (phase-map
+// lookup) on every send, and — as in the original — every send funnelled
+// through a type-erased trampoline (function pointer), so none of it can
+// inline into the protocol.
+
+class legacy_engine {
+public:
+    struct legacy_ctx {
+        using send_hook = void (*)(void*, port_id, micro_msg&&);
+        std::size_t degree = 0;
+        send_hook fn = nullptr;
+        void* env = nullptr;
+        void send(port_id p, micro_msg m) {
+            if (p >= degree) {
+                std::fprintf(stderr, "legacy replica: port out of range\n");
+                std::exit(2);
+            }
+            fn(env, p, std::move(m));
+        }
+    };
+
+    legacy_engine(const graph& g, std::uint64_t seed)
+        : g_(g), budget_bits_(congest_budget{}.resolve(g.num_nodes())) {
+        const std::size_t n = g_.num_nodes();
+        slot_base_.resize(n + 1, 0);
+        for (node_id u = 0; u < n; ++u) slot_base_[u + 1] = slot_base_[u] + g_.degree(u);
+        sent_stamp_.assign(slot_base_[n], 0);
+        cur_in_.resize(n);
+        nxt_in_.resize(n);
+        acc_.assign(n, 0);
+        (void)seed;
+    }
+
+    void step() {
+        const std::size_t n = g_.num_nodes();
+        for (node_id u = 0; u < n; ++u) {
+            for (const auto& [port, msg] : cur_in_[u]) acc_[u] += msg.x + port;
+            send_env env{this, u};
+            legacy_ctx ctx{g_.degree(u), &legacy_engine::trampoline, &env};
+            const auto deg = static_cast<port_id>(ctx.degree);
+            for (port_id p = 0; p < deg; ++p) ctx.send(p, micro_msg{});
+        }
+        for (node_id u = 0; u < n; ++u) cur_in_[u].clear();
+        std::swap(cur_in_, nxt_in_);
+        metrics_.count_round(1);
+        ++round_;
+    }
+
+    void run_rounds(std::uint64_t k) {
+        for (std::uint64_t i = 0; i < k; ++i) step();
+    }
+
+    [[nodiscard]] const sim_metrics& metrics() const noexcept { return metrics_; }
+
+private:
+    struct send_env {
+        legacy_engine* self;
+        node_id sender;
+    };
+
+    static void trampoline(void* env_ptr, port_id p, micro_msg&& m) {
+        auto* env = static_cast<send_env*>(env_ptr);
+        env->self->do_send(env->sender, p, std::move(m));
+    }
+
+    void do_send(node_id u, port_id p, micro_msg&& m) {
+        auto& stamp = sent_stamp_[slot_base_[u] + p];
+        if (stamp == round_ + 1) {
+            std::fprintf(stderr, "legacy replica: double send\n");
+            std::exit(2);
+        }
+        stamp = round_ + 1;
+        const std::size_t bits = m.bit_size();
+        const std::uint64_t frag =
+            bits == 0 ? 1 : (bits + budget_bits_ - 1) / budget_bits_;
+        if (frag > round_max_frag_) round_max_frag_ = frag;
+        metrics_.count_message(bits);
+        const node_id v = g_.neighbor(u, p);
+        const port_id q = g_.reverse_port(u, p);
+        nxt_in_[v].emplace_back(q, std::move(m));
+    }
+
+    const graph& g_;
+    std::uint64_t budget_bits_;
+    std::vector<std::size_t> slot_base_;
+    std::vector<std::uint64_t> sent_stamp_;
+    std::vector<std::vector<std::pair<port_id, micro_msg>>> cur_in_, nxt_in_;
+    std::vector<std::uint64_t> acc_;
+    std::uint64_t round_ = 0;
+    std::uint64_t round_max_frag_ = 1;
+    sim_metrics metrics_;
+};
+
+// --- per-token walk replica --------------------------------------------------
+//
+// The pre-binomial walk_ensemble_node: one lazy coin + one port draw per
+// resident token per round. Runs on the current flat engine so the
+// comparison isolates the sampling change.
+
+class per_token_walk_node {
+public:
+    using message_type = walk_msg;
+
+    per_token_walk_node(std::size_t degree, std::uint64_t tokens, std::uint64_t rounds)
+        : degree_(degree), resident_(tokens), rounds_(rounds) {}
+
+    void on_round(node_ctx<walk_msg>& ctx, inbox_view<walk_msg> inbox) {
+        for (const auto& [port, msg] : inbox) {
+            (void)port;
+            resident_ += msg.count;
+        }
+        if (ctx.round() >= rounds_) {
+            ctx.halt();
+            return;
+        }
+        if (resident_ == 0 || degree_ == 0) return;
+        if (out_.size() != degree_) out_.assign(degree_, 0);
+        touched_.clear();
+        std::uint64_t staying = 0;
+        for (std::uint64_t t = 0; t < resident_; ++t) {
+            if (ctx.rng().bit()) {
+                const auto p = static_cast<port_id>(ctx.rng().below(degree_));
+                if (out_[p]++ == 0) touched_.push_back(p);
+            } else {
+                ++staying;
+            }
+        }
+        resident_ = staying;
+        for (port_id p : touched_) {
+            ctx.send(p, walk_msg{out_[p]});
+            out_[p] = 0;
+        }
+    }
+
+    [[nodiscard]] std::uint64_t resident() const noexcept { return resident_; }
+
+private:
+    std::size_t degree_;
+    std::uint64_t resident_;
+    std::uint64_t rounds_;
+    std::vector<std::uint64_t> out_;
+    std::vector<port_id> touched_;
+};
+
+// --- measurement helpers -----------------------------------------------------
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct round_throughput {
+    double flat_mmsg_s = 0;
+    double legacy_mmsg_s = 0;
+    std::uint64_t rounds = 0;
+};
+
+// Best-of-5 measured segments after a warmup, flat and legacy segments
+// interleaved so shared-runner drift hits both sides alike and cancels
+// out of the speedup ratio.
+round_throughput measure_rounds(const graph& g, std::uint64_t rounds) {
+    round_throughput out;
+    out.rounds = rounds;
+    const double msgs_per_round = static_cast<double>(2 * g.num_edges());
+    engine<all_ports_proc> flat(g, 1);
+    flat.spawn([&](std::size_t u) {
+        return all_ports_proc(g.degree(static_cast<node_id>(u)));
+    });
+    legacy_engine legacy(g, 1);
+    flat.run_rounds(rounds / 10 + 1);    // warmup (caches settle)
+    legacy.run_rounds(rounds / 10 + 1);  // warmup (vectors reach capacity)
+    const auto throughput = [&](auto& eng) {
+        const auto t0 = std::chrono::steady_clock::now();
+        eng.run_rounds(rounds);
+        return msgs_per_round * static_cast<double>(rounds) / seconds_since(t0) / 1e6;
+    };
+    for (int rep = 0; rep < 5; ++rep) {
+        out.flat_mmsg_s = std::max(out.flat_mmsg_s, throughput(flat));
+        out.legacy_mmsg_s = std::max(out.legacy_mmsg_s, throughput(legacy));
+    }
+    return out;
+}
+
+struct walk_timing {
+    double binomial_s = 0;
+    double per_token_s = 0;
+    std::vector<std::uint64_t> binomial_resident, per_token_final_total;
+};
+
+template <class Node>
+double time_walk(const graph& g, std::uint64_t tokens, std::uint64_t rounds,
+                 std::uint64_t seed, std::uint64_t* total_out) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        engine<Node> eng(g, seed, congest_budget::unlimited());
+        eng.spawn([&](std::size_t u) {
+            return Node(g.degree(static_cast<node_id>(u)), u == 0 ? tokens : 0, rounds);
+        });
+        eng.run_until_halted(rounds + 2);
+        const double s = seconds_since(t0);
+        if (s < best) best = s;
+        std::uint64_t total = 0;
+        for (std::size_t u = 0; u < g.num_nodes(); ++u) total += eng.node(u).resident();
+        *total_out = total;
+    }
+    return best;
+}
+
+// Sharded-vs-serial identity on one family: walk ensemble digest match.
+bool parallel_identical(graph_family f, std::size_t n, std::uint64_t seed) {
+    const graph g = make_family(f, n, seed);
+    auto run = [&](std::size_t node_jobs) {
+        scoped_engine_parallelism par(engine_parallelism{nullptr, node_jobs});
+        return run_walk_ensemble(g, 0, 2000, 32, seed + 1);
+    };
+    const walk_ensemble_result a = run(1);
+    const walk_ensemble_result b = run(2);
+    return a.resident == b.resident && a.totals.messages == b.totals.messages &&
+           a.totals.bits == b.totals.bits;
+}
+
+// --- output / baseline gate --------------------------------------------------
+
+struct options {
+    bool quick = false;
+    bool csv = false;
+    bool json = false;
+    std::string json_out;
+    std::string check;
+};
+
+struct emitted {
+    std::string title;
+    text_table table;
+};
+
+void emit(std::vector<emitted>& sink, const options& opt, const std::string& title,
+          const text_table& t) {
+    std::cout << "\n== " << title << " ==\n";
+    t.print(std::cout);
+    if (opt.csv) {
+        std::cout << "-- csv --\n";
+        t.print_csv(std::cout);
+    }
+    if (opt.json) {
+        std::cout << "-- json --\n";
+        t.print_json(std::cout, title);
+    }
+    std::cout.flush();
+    sink.push_back(emitted{title, t});
+}
+
+// Parses a formatted cell ("1,234", "12.34", "8.52x") as a double.
+double cell_number(const std::string& s) {
+    std::string clean;
+    for (char c : s) {
+        if (c != ',' && c != 'x') clean.push_back(c);
+    }
+    return std::strtod(clean.c_str(), nullptr);
+}
+
+// Baseline gate: every (table, row-key, column) in `checks` must be at
+// least baseline/3; identity cells must equal "yes" in both.
+struct gate_column {
+    std::string title;     // table title
+    std::string key;       // header of the row-key column
+    std::string column;    // header of the gated column
+    bool identity = false; // "yes"-match instead of ratio
+};
+
+int run_check(const std::string& path, const std::vector<emitted>& tables,
+              const std::vector<gate_column>& checks) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "check: cannot open baseline '%s'\n", path.c_str());
+        return 1;
+    }
+    std::map<std::string, json_value> baseline;  // title -> object
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        json_value v = json_parse(line);
+        std::string title = v.at("title").as_string();
+        baseline.emplace(std::move(title), std::move(v));
+    }
+    // Current values, via the same JSON serialization.
+    std::map<std::string, json_value> current;
+    for (const auto& e : tables) {
+        std::ostringstream os;
+        e.table.print_json(os, e.title);
+        current.emplace(e.title, json_parse(os.str()));
+    }
+    int failures = 0;
+    for (const auto& c : checks) {
+        auto bit = baseline.find(c.title);
+        auto cit = current.find(c.title);
+        if (bit == baseline.end() || cit == current.end()) {
+            std::fprintf(stderr, "check: table '%s' missing (baseline: %s, current: %s)\n",
+                         c.title.c_str(), bit == baseline.end() ? "no" : "yes",
+                         cit == current.end() ? "no" : "yes");
+            ++failures;
+            continue;
+        }
+        // Index baseline rows by key column.
+        std::map<std::string, const json_value*> base_rows;
+        for (const auto& row : bit->second.at("rows").as_array()) {
+            base_rows.emplace(row.at(c.key).as_string(), &row);
+        }
+        for (const auto& row : cit->second.at("rows").as_array()) {
+            const std::string& key = row.at(c.key).as_string();
+            auto b = base_rows.find(key);
+            if (b == base_rows.end()) continue;  // new workload: not gated yet
+            const std::string& cur_cell = row.at(c.column).as_string();
+            const std::string& base_cell = b->second->at(c.column).as_string();
+            if (c.identity) {
+                if (cur_cell != "yes") {
+                    std::fprintf(stderr, "check: %s / %s / %s = '%s' (must be 'yes')\n",
+                                 c.title.c_str(), key.c_str(), c.column.c_str(),
+                                 cur_cell.c_str());
+                    ++failures;
+                }
+                continue;
+            }
+            const double cur = cell_number(cur_cell);
+            const double base = cell_number(base_cell);
+            if (base > 0 && cur < base / 3.0) {
+                std::fprintf(stderr,
+                             "check: hard regression: %s / %s / %s = %.3g, "
+                             "baseline %.3g (floor %.3g)\n",
+                             c.title.c_str(), key.c_str(), c.column.c_str(), cur,
+                             base, base / 3.0);
+                ++failures;
+            }
+        }
+    }
+    if (failures == 0) {
+        std::printf("check: OK — all gated columns within 3x of '%s'\n", path.c_str());
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+int run(const options& opt) {
+    std::vector<emitted> tables;
+
+    // --- 1. round dispatch: flat slots vs legacy vector inboxes ---
+    struct workload {
+        const char* name;
+        graph g;
+        std::uint64_t rounds;
+    };
+    std::vector<workload> workloads;
+    const std::uint64_t r_mult = opt.quick ? 1 : 10;
+    workloads.push_back({"clique(256)", make_complete(256), 30 * r_mult});
+    workloads.push_back({"torus(32x32)", make_torus(32, 32), 300 * r_mult});
+    workloads.push_back({"dumbbell(128)", make_family(graph_family::dumbbell, 128, 1),
+                         200 * r_mult});
+    workloads.push_back({"ba(1024)", make_family(graph_family::barabasi_albert, 1024, 1),
+                         100 * r_mult});
+
+    text_table t1({"workload", "n", "m", "rounds", "flat Mmsg/s", "legacy Mmsg/s",
+                   "speedup"});
+    for (auto& w : workloads) {
+        const round_throughput r = measure_rounds(w.g, w.rounds);
+        t1.add_row({w.name, fmt_count(w.g.num_nodes()), fmt_count(w.g.num_edges()),
+                    fmt_count(r.rounds), fmt_fixed(r.flat_mmsg_s, 2),
+                    fmt_fixed(r.legacy_mmsg_s, 2),
+                    fmt_ratio(r.flat_mmsg_s / r.legacy_mmsg_s)});
+    }
+    emit(tables, opt, "engine round throughput", t1);
+
+    // --- 2. walk ensembles: binomial rounds vs per-token rounds ---
+    text_table t2({"graph", "tokens", "rounds", "binomial s", "per-token s",
+                   "speedup", "Mtokens/s"});
+    struct walk_case {
+        const char* name;
+        graph g;
+        std::uint64_t tokens;
+        std::uint64_t rounds;
+    };
+    std::vector<walk_case> walks;
+    walks.push_back({"dumbbell(128)", make_family(graph_family::dumbbell, 128, 1),
+                     opt.quick ? 100'000ull : 1'000'000ull, 64});
+    walks.push_back({"caveman(120)",
+                     make_family(graph_family::connected_caveman, 120, 1),
+                     opt.quick ? 100'000ull : 1'000'000ull, 64});
+    for (auto& w : walks) {
+        std::uint64_t total_b = 0, total_t = 0;
+        const double sb =
+            time_walk<walk_ensemble_node>(w.g, w.tokens, w.rounds, 7, &total_b);
+        const double st =
+            time_walk<per_token_walk_node>(w.g, w.tokens, w.rounds, 7, &total_t);
+        if (total_b != w.tokens || total_t != w.tokens) {
+            std::fprintf(stderr, "token conservation violated: %llu/%llu vs %llu\n",
+                         static_cast<unsigned long long>(total_b),
+                         static_cast<unsigned long long>(total_t),
+                         static_cast<unsigned long long>(w.tokens));
+            return 2;
+        }
+        const double token_steps =
+            static_cast<double>(w.tokens) * static_cast<double>(w.rounds);
+        t2.add_row({w.name, fmt_count(w.tokens), fmt_count(w.rounds), fmt_fixed(sb, 3),
+                    fmt_fixed(st, 3), fmt_ratio(st / sb),
+                    fmt_fixed(token_steps / sb / 1e6, 1)});
+    }
+    emit(tables, opt, "walk ensemble throughput", t2);
+
+    // --- 3. sharded rounds identical to serial, across the whole zoo ---
+    text_table t3({"family", "n", "identical"});
+    const std::size_t ident_n = opt.quick ? 24 : 64;
+    bool all_identical = true;
+    for (graph_family f : all_families()) {
+        const bool ok = parallel_identical(f, ident_n, 3);
+        all_identical = all_identical && ok;
+        t3.add_row({to_string(f), fmt_count(ident_n), ok ? "yes" : "NO"});
+    }
+    emit(tables, opt, "parallel step identity", t3);
+    if (!all_identical) {
+        std::fprintf(stderr, "parallel step diverged from serial — engine bug\n");
+        return 2;
+    }
+
+    if (!opt.json_out.empty()) {
+        std::ofstream out(opt.json_out);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n", opt.json_out.c_str());
+            return 2;
+        }
+        for (const auto& e : tables) e.table.print_json(out, e.title);
+    }
+
+    if (!opt.check.empty()) {
+        // Gate the *speedup* columns, not absolute throughput: both sides
+        // of each ratio run on the same machine in the same process, so
+        // the gate is machine-independent — a slower CI runner shifts
+        // flat and legacy alike and the ratio survives.
+        const std::vector<gate_column> checks = {
+            {"engine round throughput", "workload", "speedup", false},
+            {"walk ensemble throughput", "graph", "speedup", false},
+            {"parallel step identity", "family", "identical", true},
+        };
+        return run_check(opt.check, tables, checks);
+    }
+    return 0;
+}
+
+}  // namespace
+}  // namespace anole
+
+int main(int argc, char** argv) {
+    anole::options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto value = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s requires a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--quick") {
+            opt.quick = true;
+        } else if (a == "--csv") {
+            opt.csv = true;
+        } else if (a == "--json") {
+            opt.json = true;
+        } else if (a == "--json-out") {
+            opt.json_out = value("--json-out");
+        } else if (a == "--check") {
+            opt.check = value("--check");
+        } else if (a == "--help" || a == "-h") {
+            std::printf("flags: --quick | --csv | --json | --json-out FILE |"
+                        " --check FILE\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "error: unknown flag '%s' (try --help)\n", a.c_str());
+            return 2;
+        }
+    }
+    return anole::run(opt);
+}

@@ -9,6 +9,9 @@
 //                trajectory schema; see docs/BENCHMARKS.md)
 //   --seeds N    repetitions per configuration (default 3-5 per bench)
 //   --jobs N     worker threads for the scenario sweep (default: all cores)
+//   --node-jobs N  shard every engine round across N workers (default 1 =
+//                serial rounds; results identical for any value — see
+//                docs/PERFORMANCE.md for when this beats --jobs)
 //
 // Results are deterministic in the seed set — the ScenarioRunner
 // (src/sim/runner.h) derives every repetition's randomness from
@@ -35,8 +38,9 @@ struct options {
     bool full = false;
     bool csv = false;
     bool json = false;
-    std::size_t seeds = 0;  // 0 = bench default
-    std::size_t jobs = 0;   // 0 = hardware concurrency
+    std::size_t seeds = 0;      // 0 = bench default
+    std::size_t jobs = 0;       // 0 = hardware concurrency
+    std::size_t node_jobs = 0;  // 0 = serial engine rounds
 
     static options parse(int argc, char** argv) {
         const auto parse_count = [&](int& i, const char* flag) -> std::size_t {
@@ -74,9 +78,11 @@ struct options {
                 o.seeds = parse_count(i, "--seeds");
             } else if (a == "--jobs") {
                 o.jobs = parse_count(i, "--jobs");
+            } else if (a == "--node-jobs") {
+                o.node_jobs = parse_count(i, "--node-jobs");
             } else if (a == "--help" || a == "-h") {
                 std::printf("flags: --quick | --full | --csv | --json |"
-                            " --seeds N | --jobs N\n");
+                            " --seeds N | --jobs N | --node-jobs N\n");
                 std::exit(0);
             } else {
                 std::fprintf(stderr, "error: unknown flag '%s' (try --help)\n",
@@ -91,9 +97,10 @@ struct options {
         return seeds == 0 ? dflt : seeds;
     }
 
-    // The shared experiment driver, sized from --jobs.
+    // The shared experiment driver, sized from --jobs; --node-jobs
+    // becomes the default engine-round sharding for every scenario.
     [[nodiscard]] scenario_runner make_runner() const {
-        return scenario_runner(jobs);
+        return scenario_runner(jobs, node_jobs);
     }
 };
 

@@ -4,6 +4,12 @@
 // a set of source nodes each launch `tokens` lazy walk tokens (stay with
 // probability 1/2, else uniform random neighbor); tokens traversing a
 // link in the same round are batched into one ⟨count⟩ message (CONGEST).
+// Rounds are sampled *distributionally* — stayers ~ Binomial(resident,
+// 1/2), movers split over ports as a uniform multinomial (util/rng.h) —
+// so a round costs O(degree) rather than O(resident tokens): the exact
+// same token-level law, but million-token ensembles run at the price of
+// ten-token ones (tests/util/rng_binomial_test.cpp checks the samplers
+// against the per-token reference by chi-squared).
 // Unlike the full protocol's walks, these carry no IDs — the ensemble is
 // used to validate the *mixing* behaviour the analysis relies on:
 // after tmix steps, token positions sample the stationary distribution
@@ -26,6 +32,7 @@
 #include "graph/graph.h"
 #include "sim/engine.h"
 #include "util/bit_codec.h"
+#include "util/rng.h"
 
 namespace anole {
 
@@ -56,23 +63,20 @@ public:
         }
         // A degree-0 node (possible only on the 1-node graph — the model
         // requires connectivity) is absorbing: every token stays, and the
-        // lazy-move draw below (rng.below(degree_)) is never reached.
+        // port split below is never reached.
         if (resident_ == 0 || degree_ == 0) return;
-        if (out_.size() != degree_) out_.assign(degree_, 0);
-        touched_.clear();
-        std::uint64_t staying = 0;
-        for (std::uint64_t t = 0; t < resident_; ++t) {
-            if (ctx.rng().bit()) {
-                const auto p = static_cast<port_id>(ctx.rng().below(degree_));
-                if (out_[p]++ == 0) touched_.push_back(p);
-            } else {
-                ++staying;
-            }
-        }
-        resident_ = staying;
-        for (port_id p : touched_) {
-            ctx.send(p, walk_msg{out_[p]});
-            out_[p] = 0;
+        // Distributional round: instead of flipping a lazy coin per token
+        // (O(resident)), sample how many move — Binomial(resident, 1/2) —
+        // and split the movers over the ports as an exact uniform
+        // multinomial. O(degree) regardless of how many tokens sit here,
+        // with the identical per-token distribution.
+        const std::uint64_t movers = binomial(ctx.rng(), resident_, 0.5);
+        resident_ -= movers;
+        if (movers == 0) return;
+        if (out_.size() != degree_) out_.resize(degree_);
+        multinomial_uniform(ctx.rng(), movers, out_);
+        for (port_id p = 0; p < degree_; ++p) {
+            if (out_[p] != 0) ctx.send(p, walk_msg{out_[p]});
         }
     }
 
@@ -87,7 +91,6 @@ private:
     std::uint64_t rounds_;
     std::uint64_t visits_ = 0;
     std::vector<std::uint64_t> out_;
-    std::vector<port_id> touched_;
 };
 
 struct walk_ensemble_result {

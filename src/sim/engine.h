@@ -14,7 +14,8 @@
 //
 // The engine is a class template over the protocol type P, which must
 // provide:
-//     using message_type = ...;   // copyable, with bit_size() -> size_t
+//     using message_type = ...;   // copyable, default-constructible,
+//                                 // with bit_size() -> size_t
 //     void on_round(node_ctx<message_type>& ctx,
 //                   inbox_view<message_type> inbox);
 //
@@ -23,18 +24,60 @@
 // called every round for every non-halted node. A node that calls
 // ctx.halt() is never stepped again and sends nothing.
 //
+// --- message transport: flat single-writer slots ---
+//
+// The CONGEST invariant — at most one message per (node, port) per round
+// — means the whole network's in-flight traffic fits in exactly 2m
+// slots, one per directed edge, laid out CSR-style and indexed by the
+// *sender*:
+//
+//     slot(u, p) = slot_base_[u] + p          (p = out-port at u)
+//
+//     cur_msg_   [ u0.p0 | u0.p1 | u1.p0 | u1.p1 | u1.p2 | ... ]  2m slots
+//     cur_stamp_ [   7   |   -   |   -   |   7   |   7   | ... ]  parallel
+//
+// A slot holds a live message iff its stamp equals the current round's
+// delivery mark (round + 1; stamps only ever grow, so nothing is ever
+// cleared). Sender-major order makes the expensive half of transport —
+// the writes — perfectly dense: staging a send is two stores into the
+// node's own contiguous slot ranges (a double send is caught as a
+// repeated stamp right there), and a whole round's staging is a single
+// sequential pass over the buffers. Delivery is the cheap half: node v's
+// inbox gathers through the precomputed peer-slot table
+// (peer[slot(v, q)] = slot(u, p), an involution) — scattered *reads*,
+// which dirty no cache lines and land in the compact stamp/message
+// arrays rather than padded structs. End of round, the cur/nxt buffers
+// swap in O(1). Compared to per-node inbox vectors this removes all
+// per-message heap traffic, the per-send engine round-trip and metrics
+// work, the scattered delivery stores, and the O(n) per-round clear.
+//
+// Because every slot has a unique writer and every node draws from a
+// private RNG stream, rounds can also be sharded across a thread pool
+// with results bitwise-identical to serial execution — see
+// set_parallelism() / engine_parallelism below ("--node-jobs" in the
+// benches). Per-shard cost counters are reduced deterministically after
+// the barrier.
+//
 // Cost accounting (sim/metrics.h): every send tallies one message and its
 // exact bit size; budget policies (sim/budget.h) reject or fragment
 // messages exceeding the per-link CONGEST budget. In fragment mode a
 // round's time cost is the worst ⌈bits/budget⌉ over its messages — the
 // synchronous network advances at the slowest link's pace, matching the
 // paper's own accounting of bit-by-bit potential transmission.
+//
+// CONGEST-guard checks (port range, double send) are hard errors in
+// Debug builds and compiled out in Release — the tier-1 test suite runs
+// Debug, so protocol violations are still caught where it matters, while
+// the measured hot path carries no per-send branch for them. Budget
+// violations are *model semantics*, not guards, and throw in every
+// configuration.
 #pragma once
 
+#include <algorithm>
 #include <concepts>
 #include <cstdint>
-#include <optional>
-#include <span>
+#include <exception>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -42,24 +85,161 @@
 #include "graph/graph.h"
 #include "sim/budget.h"
 #include "sim/metrics.h"
+#include "sim/thread_pool.h"
 #include "util/error.h"
 #include "util/rng.h"
 
 namespace anole {
 
 template <class M>
-concept congest_message = std::copyable<M> && requires(const M& m) {
+concept congest_message = std::copyable<M> && std::default_initializable<M> &&
+                          requires(const M& m) {
     { m.bit_size() } -> std::convertible_to<std::size_t>;
 };
 
-// Messages delivered to a node this round: (arrival port, payload).
+// True when the engine validates protocol behaviour (port range, one send
+// per port per round) with throwing checks. Debug only; Release trusts
+// protocol code and compiles the guards out (tests that provoke
+// violations must skip themselves when this is false).
+#ifndef NDEBUG
+inline constexpr bool congest_guard_checks = true;
+#else
+inline constexpr bool congest_guard_checks = false;
+#endif
+
+// Messages delivered to a node this round, as (arrival port, payload)
+// pairs. A lightweight view over the node's arrival ports: port q's
+// message, if any, sits in the *sender's* staging slot (located via the
+// precomputed peer-slot table) and is live iff its stamp matches this
+// round's delivery mark. Stamps and payloads live in separate dense
+// arrays so the stamp gathers touch a small array that stays cached.
+// Iteration order is ascending port — deterministic, but protocols must
+// not (and cannot) attribute meaning to it beyond the port labels.
 template <congest_message Msg>
-using inbox_view = std::span<const std::pair<port_id, Msg>>;
+class inbox_view {
+public:
+    class iterator {
+    public:
+        using value_type = std::pair<port_id, const Msg&>;
+
+        value_type operator*() const noexcept {
+            return {pos_, view_->msgs_[view_->peer_[pos_]]};
+        }
+        iterator& operator++() noexcept {
+            ++pos_;
+            skip();
+            return *this;
+        }
+        [[nodiscard]] bool operator==(const iterator& o) const noexcept {
+            return pos_ == o.pos_;
+        }
+        [[nodiscard]] bool operator!=(const iterator& o) const noexcept {
+            return pos_ != o.pos_;
+        }
+
+    private:
+        friend class inbox_view;
+        iterator(const inbox_view* view, port_id pos) noexcept : view_(view), pos_(pos) {
+            skip();
+        }
+        void skip() noexcept {
+            while (pos_ < view_->degree_ &&
+                   view_->stamps_[view_->peer_[pos_]] != view_->mark_) {
+                ++pos_;
+            }
+        }
+        const inbox_view* view_;
+        port_id pos_;
+    };
+
+    inbox_view() noexcept = default;  // empty
+    inbox_view(const Msg* msgs, const std::uint32_t* stamps, const std::uint32_t* peer,
+               std::uint32_t mark, port_id degree) noexcept
+        : msgs_(msgs), stamps_(stamps), peer_(peer), mark_(mark), degree_(degree) {}
+
+    [[nodiscard]] iterator begin() const noexcept { return iterator(this, 0); }
+    [[nodiscard]] iterator end() const noexcept { return iterator(this, degree_); }
+
+    // Number of delivered messages. O(degree) stamp gather on first call,
+    // cached afterwards (iteration is O(degree) anyway).
+    [[nodiscard]] std::size_t size() const noexcept {
+        if (count_ == unknown) {
+            std::uint32_t c = 0;
+            for (port_id p = 0; p < degree_; ++p) {
+                c += stamps_[peer_[p]] == mark_ ? 1 : 0;
+            }
+            count_ = c;
+        }
+        return count_;
+    }
+    [[nodiscard]] bool empty() const noexcept {
+        if (count_ != unknown) return count_ == 0;
+        for (port_id p = 0; p < degree_; ++p) {
+            if (stamps_[peer_[p]] == mark_) return false;
+        }
+        count_ = 0;
+        return true;
+    }
+
+private:
+    static constexpr std::uint32_t unknown = 0xffffffffu;
+
+    const Msg* msgs_ = nullptr;
+    const std::uint32_t* stamps_ = nullptr;
+    const std::uint32_t* peer_ = nullptr;
+    std::uint32_t mark_ = 0;
+    port_id degree_ = 0;
+    mutable std::uint32_t count_ = unknown;
+};
+
+// --- intra-instance parallelism ---------------------------------------------
+//
+// engine<P>::step() can shard its node loop over a thread pool. The
+// single-writer slot layout plus per-node RNG streams make the sharded
+// round bitwise-identical to the serial one, so this is purely a
+// wall-clock knob for large instances — orthogonal to the runner's
+// repetition-level `--jobs`. The ambient (thread-local) default lets the
+// ScenarioRunner plumb `--node-jobs` to engines constructed deep inside
+// the algorithm drivers without threading a parameter through every one.
+
+struct engine_parallelism {
+    thread_pool* pool = nullptr;  // borrowed; nullptr => engine owns workers
+    std::size_t node_jobs = 1;    // shard count; <= 1 means serial
+};
+
+[[nodiscard]] inline engine_parallelism& ambient_engine_parallelism() noexcept {
+    thread_local engine_parallelism cfg;
+    return cfg;
+}
+
+// RAII: sets the ambient default for engines constructed in this scope
+// (on this thread), restoring the previous value on exit.
+class scoped_engine_parallelism {
+public:
+    explicit scoped_engine_parallelism(engine_parallelism next) noexcept
+        : prev_(ambient_engine_parallelism()) {
+        ambient_engine_parallelism() = next;
+    }
+    ~scoped_engine_parallelism() { ambient_engine_parallelism() = prev_; }
+    scoped_engine_parallelism(const scoped_engine_parallelism&) = delete;
+    scoped_engine_parallelism& operator=(const scoped_engine_parallelism&) = delete;
+
+private:
+    engine_parallelism prev_;
+};
 
 namespace detail {
-template <class P>
-class engine_access;
-}
+// Per-round (per-shard when rounds are sharded) cost accumulator; the
+// engine flushes it into sim_metrics once per round so the send hot path
+// never touches the phase map.
+struct engine_round_acc {
+    std::uint64_t messages = 0;
+    std::uint64_t bits = 0;
+    std::uint64_t max_frag = 1;
+    std::size_t newly_halted = 0;
+    std::exception_ptr error;
+};
+}  // namespace detail
 
 template <congest_message Msg>
 class node_ctx {
@@ -69,10 +249,40 @@ public:
     [[nodiscard]] xoshiro256ss& rng() noexcept { return *rng_; }
 
     // Sends `m` through local port `p` (0-based). At most one send per
-    // port per round (CONGEST); violations throw anole::error.
+    // port per round (CONGEST); violations throw anole::error in Debug
+    // builds and are undefined in Release (see congest_guard_checks).
+    //
+    // Fully inline: a send is a stamp store plus a message store into the
+    // node's own contiguous out-slots — no engine round-trip, no table
+    // lookup, no scattered write — with cost counters kept right here in
+    // the (stack-hot) context and folded into the round totals after
+    // on_round returns.
     void send(port_id p, Msg m) {
-        require(p < degree_, "node_ctx::send: port out of range");
-        send_fn_(send_env_, p, std::move(m));
+        if constexpr (congest_guard_checks) {
+            require(p < degree_, "node_ctx::send: port out of range");
+        }
+        if constexpr (congest_guard_checks) {
+            require(out_stamp_[p] != stamp_, "CONGEST violation: double send on port");
+        }
+        const std::size_t bits = m.bit_size();
+        if (bits > budget_bits_) [[unlikely]] {
+            // Oversize: reject (strict) or charge fragmentation rounds.
+            // Fitting messages — the designed-for case — skip the division.
+            if (budget_mode_ == budget_mode::strict) {
+                require(false, "CONGEST violation: message of " +
+                                   std::to_string(bits) +
+                                   " bits exceeds per-round budget of " +
+                                   std::to_string(budget_bits_));
+            }
+            if (budget_mode_ == budget_mode::fragment) {
+                const std::uint64_t frag = (bits + budget_bits_ - 1) / budget_bits_;
+                if (frag > max_frag_) max_frag_ = frag;
+            }
+        }
+        ++messages_;
+        bits_ += bits;
+        out_stamp_[p] = stamp_;
+        out_msg_[p] = std::move(m);
     }
 
     // Marks this node permanently finished; it is never stepped again.
@@ -83,31 +293,57 @@ private:
     template <class P>
     friend class engine;
 
-    using send_hook = void (*)(void*, port_id, Msg&&);
-
     std::size_t degree_ = 0;
     std::uint64_t round_ = 0;
     xoshiro256ss* rng_ = nullptr;
-    send_hook send_fn_ = nullptr;
-    void* send_env_ = nullptr;
+    // Staging: this node's contiguous out-slot ranges in the next round's
+    // flat buffers (see the engine's transport comment).
+    std::uint32_t* out_stamp_ = nullptr;
+    Msg* out_msg_ = nullptr;
+    std::uint32_t stamp_ = 0;
+    std::uint64_t budget_bits_ = 0;
+    budget_mode budget_mode_ = budget_mode::count_only;
+    // Per-node cost counters, folded into the round accumulator by the
+    // engine after on_round.
+    std::uint64_t messages_ = 0;
+    std::uint64_t bits_ = 0;
+    std::uint64_t max_frag_ = 1;
     bool halted_flag_ = false;
 };
 
 template <class P>
 class engine {
+    using round_acc = detail::engine_round_acc;
+
 public:
     using message_type = typename P::message_type;
     static_assert(congest_message<message_type>);
 
     // The engine references (not copies) the graph; keep it alive.
     engine(const graph& g, std::uint64_t seed, congest_budget budget = {})
-        : g_(g), budget_(budget), budget_bits_(budget.resolve(g.num_nodes())) {
+        : g_(g), budget_(budget), budget_bits_(budget.resolve(g.num_nodes())),
+          par_(ambient_engine_parallelism()) {
         const std::size_t n = g_.num_nodes();
         slot_base_.resize(n + 1, 0);
         for (node_id u = 0; u < n; ++u) slot_base_[u + 1] = slot_base_[u] + g_.degree(u);
-        sent_stamp_.assign(slot_base_[n], 0);
-        cur_in_.resize(n);
-        nxt_in_.resize(n);
+        const std::size_t slots = slot_base_[n];
+        require(slots < 0xffffffffull, "engine: > 2^32 directed edges unsupported");
+        cur_msg_.resize(slots);
+        nxt_msg_.resize(slots);
+        cur_stamp_.assign(slots, 0);
+        nxt_stamp_.assign(slots, 0);
+        // Peer slot per directed edge: where the other end of (u, p)
+        // stages its messages. Precomputed so inbox gathers are one table
+        // load instead of neighbor + reverse-port + offset arithmetic.
+        // (The map is an involution: peer[peer[s]] == s.)
+        peer_slot_.resize(slots);
+        for (node_id u = 0; u < n; ++u) {
+            const auto deg = static_cast<port_id>(g_.degree(u));
+            for (port_id p = 0; p < deg; ++p) {
+                peer_slot_[slot_base_[u] + p] = static_cast<std::uint32_t>(
+                    slot_base_[g_.neighbor(u, p)] + g_.reverse_port(u, p));
+            }
+        }
         rngs_.reserve(n);
         for (node_id u = 0; u < n; ++u) rngs_.emplace_back(derive_seed(seed, u, 0xA0CE));
         halted_.assign(n, 0);
@@ -115,6 +351,15 @@ public:
 
     engine(const engine&) = delete;
     engine& operator=(const engine&) = delete;
+
+    // Overrides the ambient parallelism for this engine: shard rounds
+    // `node_jobs` ways over `pool` (nullptr = engine-owned workers).
+    void set_parallelism(thread_pool* pool, std::size_t node_jobs) {
+        par_.pool = pool;
+        par_.node_jobs = node_jobs;
+        owned_pool_.reset();
+    }
+    [[nodiscard]] std::size_t node_jobs() const noexcept { return par_.node_jobs; }
 
     // Constructs the per-node protocol instances: factory(node_index) -> P.
     // The index is for construction-time parameters only; conforming
@@ -155,33 +400,73 @@ public:
     // One synchronous round.
     void step() {
         require(!procs_.empty(), "engine::step: spawn first");
+        // 32-bit stamps bound the round count; generous next to the
+        // largest budget in the tree (revocable's 3e7) but cheap to keep
+        // honest.
+        require(round_ < 0xfffffffdull, "engine::step: stamp space exhausted");
         const std::size_t n = g_.num_nodes();
-        round_max_frag_ = 1;
+        const std::size_t shards =
+            par_.node_jobs <= 1 ? 1 : std::min(par_.node_jobs, n);
 
-        for (node_id u = 0; u < n; ++u) {
-            if (halted_[u]) continue;
-            send_env env{this, u};
-            node_ctx<message_type> ctx;
-            ctx.degree_ = g_.degree(u);
-            ctx.round_ = round_;
-            ctx.rng_ = &rngs_[u];
-            ctx.send_fn_ = &engine::send_trampoline;
-            ctx.send_env_ = &env;
-            const auto& in = cur_in_[u];
-            procs_[u].on_round(ctx, inbox_view<message_type>{in.data(), in.size()});
-            if (ctx.halted_flag_) {
-                halted_[u] = 1;
-                ++halted_count_;
-            }
+        round_acc total;
+        try {
+            run_shards(n, shards, total);
+        } catch (...) {
+            // Mid-round failure (e.g. a strict-budget violation): nodes
+            // that halted earlier this round already have their flag set
+            // but their deferred count update never ran. Recount so
+            // halted_count_ stays consistent for callers that inspect
+            // the engine after catching the error.
+            halted_count_ = static_cast<std::size_t>(
+                std::count(halted_.begin(), halted_.end(), char(1)));
+            throw;
         }
 
-        // Swap staged messages in; clear previous inboxes.
-        for (node_id u = 0; u < n; ++u) cur_in_[u].clear();
-        std::swap(cur_in_, nxt_in_);
-        metrics_.count_round(round_max_frag_);
+        halted_count_ += total.newly_halted;
+        std::swap(cur_msg_, nxt_msg_);
+        std::swap(cur_stamp_, nxt_stamp_);
+        metrics_.count_messages(total.messages, total.bits);
+        metrics_.count_round(total.max_frag);
         ++round_;
     }
 
+private:
+    // The body of one round: process every shard and reduce its costs
+    // into `total`; throws propagate (first shard wins in sharded mode).
+    void run_shards(std::size_t n, std::size_t shards, round_acc& total) {
+        if (shards <= 1) {
+            process_range(0, static_cast<node_id>(n), total);
+        } else {
+            accs_.clear();
+            accs_.resize(shards);
+            thread_pool& pool = shard_pool();
+            pool.parallel_for(shards, [&](std::size_t s) {
+                const node_id lo = static_cast<node_id>(n * s / shards);
+                const node_id hi = static_cast<node_id>(n * (s + 1) / shards);
+                // Accumulate on the worker's own stack; adjacent accs_
+                // elements share cache lines, so writing them per node
+                // would false-share across shards.
+                round_acc local;
+                try {
+                    process_range(lo, hi, local);
+                } catch (...) {
+                    local.error = std::current_exception();
+                }
+                accs_[s] = std::move(local);
+            });
+            // Deterministic reduction in shard order; sums and max are
+            // order-free, so this matches the serial totals exactly.
+            for (const auto& a : accs_) {
+                if (a.error) std::rethrow_exception(a.error);
+                total.messages += a.messages;
+                total.bits += a.bits;
+                total.newly_halted += a.newly_halted;
+                if (a.max_frag > total.max_frag) total.max_frag = a.max_frag;
+            }
+        }
+    }
+
+public:
     // --- observation ---
 
     [[nodiscard]] P& node(std::size_t i) {
@@ -203,51 +488,65 @@ public:
     void set_phase(const std::string& name) { metrics_.begin_phase(name); }
 
 private:
-    struct send_env {
-        engine* self;
-        node_id sender;
-    };
-
-    static void send_trampoline(void* env_ptr, port_id p, message_type&& m) {
-        auto* env = static_cast<send_env*>(env_ptr);
-        env->self->do_send(env->sender, p, std::move(m));
+    // Runs on_round for every live node in [lo, hi), staging sends and
+    // accumulating costs into `acc`. In sharded rounds each shard owns a
+    // disjoint range; all cross-shard writes land in slots owned by
+    // exactly one (sender, port) pair, so ranges never contend.
+    void process_range(node_id lo, node_id hi, round_acc& acc) {
+        const auto mark = static_cast<std::uint32_t>(round_ + 1);
+        const auto stamp = static_cast<std::uint32_t>(round_ + 2);
+        for (node_id u = lo; u < hi; ++u) {
+            if (halted_[u]) continue;
+            const std::size_t base = slot_base_[u];
+            node_ctx<message_type> ctx;
+            ctx.degree_ = g_.degree(u);
+            ctx.round_ = round_;
+            ctx.rng_ = &rngs_[u];
+            ctx.out_stamp_ = nxt_stamp_.data() + base;
+            ctx.out_msg_ = nxt_msg_.data() + base;
+            ctx.stamp_ = stamp;
+            ctx.budget_bits_ = budget_bits_;
+            ctx.budget_mode_ = budget_.mode;
+            procs_[u].on_round(
+                ctx, inbox_view<message_type>{cur_msg_.data(), cur_stamp_.data(),
+                                              peer_slot_.data() + base, mark,
+                                              static_cast<port_id>(ctx.degree_)});
+            acc.messages += ctx.messages_;
+            acc.bits += ctx.bits_;
+            if (ctx.max_frag_ > acc.max_frag) acc.max_frag = ctx.max_frag_;
+            if (ctx.halted_flag_) {
+                halted_[u] = 1;
+                ++acc.newly_halted;
+            }
+        }
     }
 
-    void do_send(node_id u, port_id p, message_type&& m) {
-        // One message per port per round.
-        auto& stamp = sent_stamp_[slot_base_[u] + p];
-        require(stamp != round_ + 1, "CONGEST violation: double send on port");
-        stamp = round_ + 1;
-
-        const std::size_t bits = m.bit_size();
-        const std::uint64_t frag =
-            bits == 0 ? 1 : (bits + budget_bits_ - 1) / budget_bits_;
-        if (budget_.mode == budget_mode::strict) {
-            require(frag <= 1, "CONGEST violation: message of " + std::to_string(bits) +
-                                   " bits exceeds per-round budget of " +
-                                   std::to_string(budget_bits_));
-        }
-        if (budget_.mode == budget_mode::fragment && frag > round_max_frag_) {
-            round_max_frag_ = frag;
-        }
-        metrics_.count_message(bits);
-        const node_id v = g_.neighbor(u, p);
-        const port_id q = g_.reverse_port(u, p);
-        nxt_in_[v].emplace_back(q, std::move(m));
+    // The pool rounds are sharded over: the configured one, else an
+    // engine-owned pool created on first parallel step.
+    [[nodiscard]] thread_pool& shard_pool() {
+        if (par_.pool != nullptr) return *par_.pool;
+        if (!owned_pool_) owned_pool_ = std::make_unique<thread_pool>(par_.node_jobs);
+        return *owned_pool_;
     }
 
     const graph& g_;
     congest_budget budget_;
     std::uint64_t budget_bits_;
-    std::vector<std::size_t> slot_base_;
-    std::vector<std::uint64_t> sent_stamp_;  // round_+1 marks "sent this round"
-    std::vector<std::vector<std::pair<port_id, message_type>>> cur_in_, nxt_in_;
+    engine_parallelism par_;
+    std::unique_ptr<thread_pool> owned_pool_;
+    std::vector<std::size_t> slot_base_;  // n+1 CSR offsets into the 2m slots
+    std::vector<std::uint32_t> peer_slot_;  // the reverse directed edge's slot
+    // Flat slot transport: one message + one stamp per directed edge,
+    // double-buffered and swapped each round. A slot is live iff its
+    // stamp == round + 1.
+    std::vector<message_type> cur_msg_, nxt_msg_;
+    std::vector<std::uint32_t> cur_stamp_, nxt_stamp_;
     std::vector<xoshiro256ss> rngs_;
     std::vector<P> procs_;
     std::vector<char> halted_;
+    std::vector<round_acc> accs_;  // reused shard accumulators
     std::size_t halted_count_ = 0;
     std::uint64_t round_ = 0;
-    std::uint64_t round_max_frag_ = 1;
     sim_metrics metrics_;
 };
 

@@ -35,6 +35,8 @@ struct phase_counters {
         bits += o.bits;
         return *this;
     }
+
+    friend bool operator==(const phase_counters&, const phase_counters&) = default;
 };
 
 class sim_metrics {
@@ -49,11 +51,15 @@ public:
         ++total_.rounds;
         total_.congest_rounds += congest_cost;
     }
-    void count_message(std::uint64_t bits) noexcept {
+    void count_message(std::uint64_t bits) noexcept { count_messages(1, bits); }
+
+    // Bulk form: the engine accumulates a whole round's sends locally and
+    // flushes once, so the per-send hot path never touches the phase map.
+    void count_messages(std::uint64_t messages, std::uint64_t bits) noexcept {
         auto& c = phases_[current_];
-        ++c.messages;
+        c.messages += messages;
         c.bits += bits;
-        ++total_.messages;
+        total_.messages += messages;
         total_.bits += bits;
     }
 

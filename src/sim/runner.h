@@ -33,10 +33,21 @@ namespace anole {
 
 class scenario_runner {
 public:
-    // jobs = 0 selects hardware concurrency.
-    explicit scenario_runner(std::size_t jobs = 0) : pool_(jobs) {}
+    // jobs = 0 selects hardware concurrency; node_jobs is the default
+    // engine-round sharding (see set_default_node_jobs).
+    explicit scenario_runner(std::size_t jobs = 0, std::size_t node_jobs = 1)
+        : pool_(jobs), default_node_jobs_(node_jobs == 0 ? 1 : node_jobs) {}
 
     [[nodiscard]] std::size_t jobs() const noexcept { return pool_.size(); }
+
+    // Default engine-level round sharding applied to scenarios that leave
+    // scenario::node_jobs at 0 (`--node-jobs` in the benches). Engines
+    // shard over this runner's pool — safe to nest inside repetition
+    // jobs, see thread_pool::parallel_for. <= 1 means serial rounds.
+    void set_default_node_jobs(std::size_t k) noexcept { default_node_jobs_ = k; }
+    [[nodiscard]] std::size_t default_node_jobs() const noexcept {
+        return default_node_jobs_;
+    }
 
     // Runs one scenario, repetitions in parallel.
     scenario_result run(const scenario& s);
@@ -71,8 +82,12 @@ public:
 
 private:
     scenario_result prepare(const scenario& s);
+    [[nodiscard]] std::size_t node_jobs_for(const scenario& s) const noexcept {
+        return s.node_jobs != 0 ? s.node_jobs : default_node_jobs_;
+    }
 
     thread_pool pool_;
+    std::size_t default_node_jobs_ = 1;
     mutable std::mutex mu_;
     // Generated graphs keyed by (family, n, seed); profiles keyed by
     // graph identity (works for both generated and borrowed graphs).

@@ -4,15 +4,10 @@
 
 namespace anole {
 
-namespace {
-std::size_t floor_log2(std::uint64_t v) noexcept {
-    return 63u - static_cast<std::size_t>(std::countl_zero(v));
-}
-}  // namespace
-
 void bit_writer::put_gamma(std::uint64_t v) {
     require(v >= 1, "bit_writer::put_gamma: value must be >= 1");
-    const std::size_t len = floor_log2(v);
+    // floor(log2 v), same derivation gamma_bits (bit_codec.h) uses.
+    const auto len = static_cast<std::size_t>(std::bit_width(v) - 1);
     for (std::size_t i = 0; i < len; ++i) put_bit(false);  // unary prefix
     put_bit(true);                                         // stop bit = MSB of v
     for (std::size_t i = len; i-- > 0;) put_bit(((v >> i) & 1u) != 0);
@@ -45,19 +40,9 @@ dyadic bit_reader::get_dyadic() {
     return dyadic(std::move(m), static_cast<std::size_t>(exp));
 }
 
-std::size_t gamma_bits(std::uint64_t v) noexcept {
-    if (v == 0) return 0;  // not encodable; callers use gamma0 for 0
-    return 2 * floor_log2(v) + 1;
-}
-
 std::size_t encoded_dyadic_bits(const dyadic& d) noexcept {
     const std::size_t mb = d.mantissa().bit_length();
     return gamma0_bits(d.exponent()) + gamma0_bits(mb) + mb;
-}
-
-std::size_t bits_for(std::uint64_t max_value) noexcept {
-    if (max_value == 0) return 1;
-    return floor_log2(max_value) + 1;
 }
 
 }  // namespace anole

@@ -18,6 +18,7 @@
 // tests/util/bit_codec_test.cpp pin the format.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -85,7 +86,13 @@ private:
 };
 
 // Size (in bits) of the gamma encoding of v >= 1, without encoding.
-[[nodiscard]] std::size_t gamma_bits(std::uint64_t v) noexcept;
+// Inline: message types call this from bit_size() on the engine's send
+// hot path.
+[[nodiscard]] inline std::size_t gamma_bits(std::uint64_t v) noexcept {
+    if (v == 0) return 0;  // not encodable; callers use gamma0 for 0
+    const auto floor_log2 = static_cast<std::size_t>(std::bit_width(v) - 1);
+    return 2 * floor_log2 + 1;
+}
 // Size of gamma0 (v >= 0).
 [[nodiscard]] inline std::size_t gamma0_bits(std::uint64_t v) noexcept {
     return gamma_bits(v + 1);
@@ -94,6 +101,9 @@ private:
 [[nodiscard]] std::size_t encoded_dyadic_bits(const dyadic& d) noexcept;
 
 // Number of bits needed to represent values 0..max_value (>=1 wide).
-[[nodiscard]] std::size_t bits_for(std::uint64_t max_value) noexcept;
+[[nodiscard]] inline std::size_t bits_for(std::uint64_t max_value) noexcept {
+    if (max_value == 0) return 1;
+    return static_cast<std::size_t>(std::bit_width(max_value));
+}
 
 }  // namespace anole

@@ -1,7 +1,152 @@
-// anole — rng.h is header-only; this TU exists so the library has an
-// object to archive and to host any future out-of-line definitions.
+// anole — out-of-line RNG pieces: the binomial / multinomial samplers.
+//
+// The generators themselves are header-only; what lives here is the
+// distributional sampling the walk ensembles use to replace per-token
+// coin flips (see rng.h). The binomial sampler follows the classic
+// split: exact bit-counting for the dyadic p = 1/2 small-count case,
+// BINV inversion while n·p is small, and Hörmann's BTRS transformed
+// rejection (the same algorithm TensorFlow and friends ship) for the
+// bulk regime. BTRS draws a couple of uniforms per sample regardless of
+// n, which is what makes million-token walk rounds O(degree).
 #include "util/rng.h"
 
+#include <bit>
+#include <cmath>
+
 namespace anole {
-// Intentionally empty.
+
+namespace {
+
+// log(k!) minus Stirling's main term log(sqrt(2π)) + (k+½)log(k+1) − (k+1):
+// table below 10, 3-term series above (error < 1e-10 there).
+double stirling_tail(double k) {
+    static constexpr double table[] = {
+        0.08106146679532726, 0.04134069595540929, 0.02767792568499834,
+        0.02079067210376509, 0.01664469118982119, 0.01387612882307075,
+        0.01189670994589177, 0.01041126526197209, 0.00925546218271273,
+        0.00833056343336287};
+    if (k < 10) return table[static_cast<int>(k)];
+    const double kp1 = k + 1;
+    const double inv_kp1sq = 1.0 / (kp1 * kp1);
+    return (1.0 / 12 - (1.0 / 360 - (1.0 / 1260) * inv_kp1sq) * inv_kp1sq) / kp1;
+}
+
+// BINV: climb the CDF from 0. Needs q^n representable, i.e. n·p modest
+// (callers guarantee n·p < 10 with p <= 1/2, so q^n >= e^-20).
+std::uint64_t binomial_inversion(xoshiro256ss& rng, std::uint64_t n, double p) {
+    const double q = 1 - p;
+    const double s = p / q;
+    const double a = (static_cast<double>(n) + 1) * s;
+    const double r0 = std::pow(q, static_cast<double>(n));
+    for (;;) {
+        double r = r0;
+        double u = rng.uniform01();
+        std::uint64_t k = 0;
+        while (u > r) {
+            u -= r;
+            ++k;
+            if (k > n) break;  // float round-off at the far tail: resample
+            r *= a / static_cast<double>(k) - s;
+        }
+        if (k <= n) return k;
+    }
+}
+
+// BTRS (Hörmann 1993): transformed rejection with a squeeze. Valid for
+// n·p >= 10 and p <= 1/2; ~1.15 uniform pairs per sample.
+std::uint64_t binomial_btrs(xoshiro256ss& rng, std::uint64_t n, double p) {
+    const double nd = static_cast<double>(n);
+    const double spq = std::sqrt(nd * p * (1 - p));
+    const double b = 1.15 + 2.53 * spq;
+    const double a = -0.0873 + 0.0248 * b + 0.01 * p;
+    const double c = nd * p + 0.5;
+    const double v_r = 0.92 - 4.2 / b;
+    const double r = p / (1 - p);
+    const double alpha = (2.83 + 5.1 / b) * spq;
+    const double m = std::floor((nd + 1) * p);
+    for (;;) {
+        const double u = rng.uniform01() - 0.5;
+        double v = rng.uniform01();
+        const double us = 0.5 - std::fabs(u);
+        const double kd = std::floor((2 * a / us + b) * u + c);
+        if (us >= 0.07 && v <= v_r) return static_cast<std::uint64_t>(kd);
+        if (kd < 0 || kd > nd) continue;
+        v = std::log(v * alpha / (a / (us * us) + b));
+        const double accept =
+            (m + 0.5) * std::log((m + 1) / (r * (nd - m + 1))) +
+            (nd + 1) * std::log((nd - m + 1) / (nd - kd + 1)) +
+            (kd + 0.5) * std::log(r * (nd - kd + 1) / (kd + 1)) +
+            stirling_tail(m) + stirling_tail(nd - m) - stirling_tail(kd) -
+            stirling_tail(nd - kd);
+        if (v <= accept) return static_cast<std::uint64_t>(kd);
+    }
+}
+
+}  // namespace
+
+std::uint64_t binomial(xoshiro256ss& rng, std::uint64_t n, double p) {
+    require(p >= 0.0 && p <= 1.0, "binomial: p outside [0, 1]");
+    if (n == 0 || p <= 0.0) return 0;
+    if (p >= 1.0) return n;
+    // The lazy-walk coin: exactly n fair bits, counted. Exact in the
+    // dyadic sense the protocol proofs use, and one RNG word per 64
+    // trials — cheaper than rejection-sampling setup up to ~1k trials.
+    if (p == 0.5 && n <= 1024) {
+        std::uint64_t left = n;
+        std::uint64_t hits = 0;
+        while (left >= 64) {
+            hits += static_cast<std::uint64_t>(std::popcount(rng()));
+            left -= 64;
+        }
+        if (left > 0) {
+            hits += static_cast<std::uint64_t>(
+                std::popcount(rng() & ((1ull << left) - 1)));
+        }
+        return hits;
+    }
+    if (p > 0.5) return n - binomial(rng, n, 1 - p);
+    // A handful of trials: individual coins beat any setup cost.
+    if (n <= 16) {
+        std::uint64_t hits = 0;
+        for (std::uint64_t t = 0; t < n; ++t) hits += rng.uniform01() < p ? 1 : 0;
+        return hits;
+    }
+    if (static_cast<double>(n) * p < 10.0) return binomial_inversion(rng, n, p);
+    return binomial_btrs(rng, n, p);
+}
+
+namespace {
+
+// Exact uniform multinomial by recursive halving: items landing in the
+// left half of the bin range are Binomial(count, left/size) of the total,
+// then each half recurses independently. Same draw count as the naive
+// conditional chain (bins - 1), but the probabilities are all ~1/2 and
+// the counts shrink geometrically — so most draws hit the popcount fast
+// path instead of full rejection sampling.
+void multinomial_halve(xoshiro256ss& rng, std::uint64_t count,
+                       std::span<std::uint64_t> out) {
+    if (out.size() == 1) {
+        out[0] = count;
+        return;
+    }
+    if (count == 0) {
+        for (auto& c : out) c = 0;
+        return;
+    }
+    const std::size_t mid = out.size() / 2;
+    const std::uint64_t left =
+        binomial(rng, count,
+                 static_cast<double>(mid) / static_cast<double>(out.size()));
+    multinomial_halve(rng, left, out.first(mid));
+    multinomial_halve(rng, count - left, out.subspan(mid));
+}
+
+}  // namespace
+
+void multinomial_uniform(xoshiro256ss& rng, std::uint64_t count,
+                         std::span<std::uint64_t> out) {
+    require(!out.empty(), "multinomial_uniform: no bins");
+    multinomial_halve(rng, count, out);
+}
+
 }  // namespace anole

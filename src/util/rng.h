@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "util/error.h"
@@ -127,6 +128,27 @@ private:
     }
     std::uint64_t state_[4];
 };
+
+// --- distributional sampling ----------------------------------------------
+//
+// The lazy-walk ensembles (core/random_walk.h) need whole *populations* of
+// coin flips per round: "of the R resident tokens, how many stay?" is
+// Binomial(R, 1/2), and "how do the movers split over d ports?" is a
+// uniform multinomial. Sampling those distributions directly turns an
+// O(tokens) per-round loop into O(degree) — a million-token ensemble costs
+// the same as a ten-token one.
+
+// Number of successes in n Bernoulli(p) trials. Expected O(1) time for
+// any n: exact popcount of fair bits for p = 1/2 with n <= 1024, a
+// per-trial loop for n <= 16, CDF inversion (BINV) while n·p < 10, and
+// Hörmann's BTRS transformed rejection above. p must lie in [0, 1].
+[[nodiscard]] std::uint64_t binomial(xoshiro256ss& rng, std::uint64_t n, double p);
+
+// Splits `count` items over out.size() equally likely bins (exact uniform
+// multinomial, sampled as a chain of conditional binomials). The bin
+// counts always sum to `count`.
+void multinomial_uniform(xoshiro256ss& rng, std::uint64_t count,
+                         std::span<std::uint64_t> out);
 
 // --- random tapes ---------------------------------------------------------
 //

@@ -80,5 +80,38 @@ TEST(ThreadPool, WaitWithNoJobsReturnsImmediately) {
     SUCCEED();
 }
 
+TEST(ThreadPool, NestedParallelForInsidePoolJobDoesNotDeadlock) {
+    // The engine shards rounds over the same pool the runner uses for
+    // repetitions: a pool job calling parallel_for must make progress
+    // even when every worker is occupied by such jobs (helping wait).
+    thread_pool p(2);
+    std::atomic<int> total{0};
+    p.parallel_for(8, [&](std::size_t) {
+        p.parallel_for(16, [&](std::size_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, NestedParallelForOnSingleWorkerPool) {
+    // Degenerate but legal: one worker, nesting two levels deep — the
+    // calling threads drain their own groups entirely by themselves.
+    thread_pool p(1);
+    std::atomic<int> total{0};
+    p.parallel_for(4, [&](std::size_t) {
+        p.parallel_for(4, [&](std::size_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoOp) {
+    thread_pool p(2);
+    p.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+    SUCCEED();
+}
+
 }  // namespace
 }  // namespace anole

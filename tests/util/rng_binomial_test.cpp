@@ -1,0 +1,236 @@
+// Tests for util/rng.h's distributional samplers: binomial() across all
+// three internal regimes (popcount p=1/2, BINV inversion, BTRS rejection)
+// and multinomial_uniform(), checked by chi-squared against the
+// per-token reference implementation they replaced in the walk ensemble
+// (and against the analytic pmf where per-token sampling is too slow).
+// All seeds are fixed, so every statistic below is deterministic.
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace anole {
+namespace {
+
+// The sampling loop binomial() replaced: n individual Bernoulli(p) draws.
+std::uint64_t per_token_binomial(xoshiro256ss& rng, std::uint64_t n, double p) {
+    std::uint64_t hits = 0;
+    for (std::uint64_t t = 0; t < n; ++t) {
+        if (p == 0.5 ? rng.bit() : rng.bernoulli(p)) ++hits;
+    }
+    return hits;
+}
+
+// Generous chi-squared threshold: df + 5*sqrt(2 df) sits far beyond the
+// 99.9th percentile for every df used here; with fixed seeds the checks
+// are deterministic anyway — the margin guards against resampling churn
+// if the sampler internals ever change draw order.
+double chi2_threshold(std::size_t df) {
+    return static_cast<double>(df) + 5.0 * std::sqrt(2.0 * static_cast<double>(df));
+}
+
+// Two-sample chi-squared: same-size sample A (binomial()) vs sample B
+// (per-token reference), bucketed per outcome k in [0, n] with sparse
+// tails pooled so every bucket has a healthy expected count.
+void expect_two_sample_match(std::uint64_t n, double p, std::uint64_t seed) {
+    const int samples = 4000;
+    xoshiro256ss rng_a(seed), rng_b(seed + 1);
+    std::vector<int> a(n + 1, 0), b(n + 1, 0);
+    for (int i = 0; i < samples; ++i) {
+        ++a[binomial(rng_a, n, p)];
+        ++b[per_token_binomial(rng_b, n, p)];
+    }
+    // Pool outcomes until each pooled bucket holds >= 20 combined counts.
+    std::vector<double> pa, pb;
+    double ca = 0, cb = 0;
+    for (std::size_t k = 0; k <= n; ++k) {
+        ca += a[k];
+        cb += b[k];
+        if (ca + cb >= 20) {
+            pa.push_back(ca);
+            pb.push_back(cb);
+            ca = cb = 0;
+        }
+    }
+    if (ca + cb > 0 && !pa.empty()) {
+        pa.back() += ca;
+        pb.back() += cb;
+    }
+    ASSERT_GE(pa.size(), 3u) << "degenerate bucketing for n=" << n << " p=" << p;
+    double chi2 = 0;
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        const double d = pa[i] - pb[i];
+        chi2 += d * d / (pa[i] + pb[i]);
+    }
+    EXPECT_LT(chi2, chi2_threshold(pa.size() - 1)) << "n=" << n << " p=" << p;
+}
+
+TEST(Binomial, EdgeCases) {
+    xoshiro256ss r(1);
+    EXPECT_EQ(binomial(r, 0, 0.5), 0u);
+    EXPECT_EQ(binomial(r, 100, 0.0), 0u);
+    EXPECT_EQ(binomial(r, 100, 1.0), 100u);
+    for (int i = 0; i < 200; ++i) EXPECT_LE(binomial(r, 7, 0.3), 7u);
+    EXPECT_THROW((void)binomial(r, 10, -0.1), error);
+    EXPECT_THROW((void)binomial(r, 10, 1.5), error);
+}
+
+TEST(Binomial, DeterministicInSeed) {
+    xoshiro256ss a(77), b(77);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(binomial(a, 1000, 0.37), binomial(b, 1000, 0.37));
+    }
+}
+
+// p = 1/2, n <= 64: the popcount fast path (the lazy-walk coin).
+TEST(Binomial, PopcountPathMatchesPerTokenReference) {
+    expect_two_sample_match(25, 0.5, 101);
+    expect_two_sample_match(64, 0.5, 102);
+}
+
+// n·p < 10: BINV inversion.
+TEST(Binomial, InversionPathMatchesPerTokenReference) {
+    expect_two_sample_match(45, 0.1, 103);
+    expect_two_sample_match(30, 0.25, 104);
+}
+
+// n·p >= 10: BTRS rejection (small n keeps the reference affordable).
+TEST(Binomial, BtrsPathMatchesPerTokenReference) {
+    expect_two_sample_match(60, 0.2, 105);
+    // p = 1/2 above the popcount cutoff (n <= 1024) so BTRS really runs.
+    expect_two_sample_match(1200, 0.5, 106);
+}
+
+// Large-n BTRS (the million-token regime): per-token reference sampling
+// is exactly what we're avoiding, so check against the analytic pmf.
+TEST(Binomial, LargeNBtrsMatchesAnalyticPmf) {
+    const std::uint64_t n = 5000;
+    const double p = 0.5;
+    const int samples = 20000;
+    const double mean = static_cast<double>(n) * p;
+    const double sd = std::sqrt(static_cast<double>(n) * p * (1 - p));
+    // 16 equal-width buckets over mean ± 4σ, outermost buckets absorb the
+    // tails; expected mass per bucket from the exact log-pmf.
+    const int buckets = 16;
+    const double lo = mean - 4 * sd, hi = mean + 4 * sd;
+    const double width = (hi - lo) / buckets;
+    auto bucket_of = [&](double k) {
+        const int i = static_cast<int>((k - lo) / width);
+        return i < 0 ? 0 : (i >= buckets ? buckets - 1 : i);
+    };
+    std::vector<double> expected(buckets, 0.0);
+    const double logn1 = std::lgamma(static_cast<double>(n) + 1);
+    for (std::uint64_t k = 0; k <= n; ++k) {
+        const double kd = static_cast<double>(k);
+        const double nd = static_cast<double>(n);
+        const double logpmf = logn1 - std::lgamma(kd + 1) - std::lgamma(nd - kd + 1) +
+                              kd * std::log(p) + (nd - kd) * std::log(1 - p);
+        expected[bucket_of(kd)] += std::exp(logpmf) * samples;
+    }
+    std::vector<int> observed(buckets, 0);
+    xoshiro256ss rng(107);
+    for (int i = 0; i < samples; ++i) {
+        ++observed[bucket_of(static_cast<double>(binomial(rng, n, p)))];
+    }
+    double chi2 = 0;
+    for (int i = 0; i < buckets; ++i) {
+        ASSERT_GT(expected[i], 1.0) << "bucket " << i;
+        const double d = observed[i] - expected[i];
+        chi2 += d * d / expected[i];
+    }
+    EXPECT_LT(chi2, chi2_threshold(buckets - 1));
+}
+
+TEST(Multinomial, CountsAlwaysSumToTotal) {
+    xoshiro256ss rng(5);
+    std::vector<std::uint64_t> out(7);
+    for (std::uint64_t total : {0ull, 1ull, 13ull, 100000ull}) {
+        multinomial_uniform(rng, total, out);
+        std::uint64_t sum = 0;
+        for (auto c : out) sum += c;
+        EXPECT_EQ(sum, total);
+    }
+}
+
+TEST(Multinomial, SingleBinTakesEverything) {
+    xoshiro256ss rng(6);
+    std::vector<std::uint64_t> out(1);
+    multinomial_uniform(rng, 42, out);
+    EXPECT_EQ(out[0], 42u);
+}
+
+TEST(Multinomial, EmptySpanThrows) {
+    xoshiro256ss rng(6);
+    EXPECT_THROW(multinomial_uniform(rng, 1, {}), error);
+}
+
+// Aggregate uniformity: pooled over many draws, bin totals are uniform.
+TEST(Multinomial, BinTotalsUniformChiSquared) {
+    const std::size_t bins = 7;
+    const std::uint64_t per_draw = 500;
+    const int draws = 400;
+    xoshiro256ss rng(8);
+    std::vector<std::uint64_t> out(bins);
+    std::vector<double> totals(bins, 0.0);
+    for (int i = 0; i < draws; ++i) {
+        multinomial_uniform(rng, per_draw, out);
+        for (std::size_t j = 0; j < bins; ++j) totals[j] += static_cast<double>(out[j]);
+    }
+    const double expected =
+        static_cast<double>(per_draw) * draws / static_cast<double>(bins);
+    double chi2 = 0;
+    for (std::size_t j = 0; j < bins; ++j) {
+        const double d = totals[j] - expected;
+        chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, chi2_threshold(bins - 1));
+}
+
+// Distributional check per bin: against the per-token reference splitter
+// (each mover independently picks one of `bins` uniformly).
+TEST(Multinomial, MatchesPerTokenSplitReference) {
+    const std::size_t bins = 5;
+    const std::uint64_t movers = 40;
+    const int samples = 4000;
+    xoshiro256ss rng_a(201), rng_b(202);
+    // Compare the first bin's count distribution: Binomial(movers, 1/5).
+    std::vector<int> a(movers + 1, 0), b(movers + 1, 0);
+    std::vector<std::uint64_t> out(bins);
+    for (int i = 0; i < samples; ++i) {
+        multinomial_uniform(rng_a, movers, out);
+        ++a[out[0]];
+        std::uint64_t first = 0;
+        for (std::uint64_t t = 0; t < movers; ++t) {
+            if (rng_b.below(bins) == 0) ++first;
+        }
+        ++b[first];
+    }
+    std::vector<double> pa, pb;
+    double ca = 0, cb = 0;
+    for (std::size_t k = 0; k <= movers; ++k) {
+        ca += a[k];
+        cb += b[k];
+        if (ca + cb >= 20) {
+            pa.push_back(ca);
+            pb.push_back(cb);
+            ca = cb = 0;
+        }
+    }
+    if (ca + cb > 0 && !pa.empty()) {
+        pa.back() += ca;
+        pb.back() += cb;
+    }
+    ASSERT_GE(pa.size(), 3u);
+    double chi2 = 0;
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        const double d = pa[i] - pb[i];
+        chi2 += d * d / (pa[i] + pb[i]);
+    }
+    EXPECT_LT(chi2, chi2_threshold(pa.size() - 1));
+}
+
+}  // namespace
+}  // namespace anole
