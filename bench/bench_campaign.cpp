@@ -20,6 +20,7 @@
 //   --topology-seed N  instance seed for generated families (default 1)
 //   --dry-run          print the expansion size and exit
 //   --csv --json --jobs N   as in every other bench (see bench/common.h)
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -35,12 +36,13 @@ namespace {
     std::printf(
         "usage: bench_campaign [--spec FILE.json]\n"
         "    [--families f1,f2,...] [--sizes n1,n2,...]\n"
-        "    [--variants v1,v2,...] [--seeds N]\n"
+        "    [--variants v1,v2,...] [--seeds N] [--dynamics d1,d2,...]\n"
         "    [--out FILE | --no-out] [--base-seed N] [--topology-seed N]\n"
         "    [--jobs N] [--csv] [--json] [--dry-run]\n"
         "families: any graph_family name or alias (ws, ba, rgg, caveman,\n"
         "er, grid, tree); variants: flood_max|flood, gilbert, irrevocable,\n"
-        "revocable, cautious_broadcast|cautious.\n");
+        "revocable, cautious_broadcast|cautious; dynamics: static, rewire,\n"
+        "churn, loss, crash, sleep, storm, or 'all' (docs/DYNAMICS.md).\n");
     std::exit(code);
 }
 
@@ -112,6 +114,7 @@ int main(int argc, char** argv) {
                 if (spec.families.empty()) spec.families = loaded.families;
                 if (spec.sizes.empty()) spec.sizes = loaded.sizes;
                 if (spec.variants.empty()) spec.variants = loaded.variants;
+                if (spec.dynamics.empty()) spec.dynamics = loaded.dynamics;
                 if (!seeds_set) spec.seeds = loaded.seeds;
                 if (!base_seed_set) spec.base_seed = loaded.base_seed;
                 if (!topology_seed_set) spec.topology_seed = loaded.topology_seed;
@@ -146,6 +149,21 @@ int main(int argc, char** argv) {
                     return 2;
                 }
                 spec.variants.push_back(*k);
+            }
+        } else if (a == "--dynamics") {
+            spec.dynamics.clear();
+            for (const std::string& name : split_csv(need_value(argc, argv, i))) {
+                if (name == "all") {
+                    spec.dynamics = all_dynamics_presets();
+                    break;
+                }
+                const auto d = dynamics_preset(name);
+                if (!d) {
+                    std::fprintf(stderr, "error: unknown dynamics preset '%s'\n",
+                                 name.c_str());
+                    return 2;
+                }
+                spec.dynamics.emplace_back(name, *d);
             }
         } else if (a == "--seeds") {
             spec.seeds =
@@ -200,9 +218,10 @@ int main(int argc, char** argv) {
     const auto units = expand(spec);
     if (dry_run) {
         std::printf("campaign: %zu units (%zu families x %zu sizes x %zu variants "
-                    "x %zu seeds)\n",
+                    "x %zu dynamics x %zu seeds)\n",
                     units.size(), spec.families.size(), spec.sizes.size(),
-                    spec.variants.size(), spec.seeds);
+                    spec.variants.size(),
+                    std::max<std::size_t>(spec.dynamics.size(), 1), spec.seeds);
         return 0;
     }
 

@@ -160,6 +160,7 @@ inline void warn_errors(const std::vector<scenario_result>& results) {
 }
 
 inline std::string fmt_mean_sd(const sample_stats& s) {
+    if (s.count() == 0) return "-";  // every run in the cell errored
     if (s.count() < 2) return fmt_count(static_cast<std::uint64_t>(s.mean()));
     return fmt_count(static_cast<std::uint64_t>(s.mean())) + " ±" +
            fmt_count(static_cast<std::uint64_t>(s.stddev()));

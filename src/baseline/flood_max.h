@@ -83,10 +83,13 @@ struct flood_result {
     phase_counters totals;
 };
 
-// Runs flood-max with `diameter` + 1 rounds of flooding.
+// Runs flood-max with `diameter` + 1 rounds of flooding. A non-trivial
+// `dynamics` spec (sim/dynamics.h) attaches the per-round adversary; the
+// round cap still bounds the run, so faulty runs end in a verdict.
 [[nodiscard]] flood_result run_flood_max(const graph& g, std::uint64_t diameter,
                                          std::uint64_t seed,
                                          congest_budget budget =
-                                             congest_budget::strict_log(16));
+                                             congest_budget::strict_log(16),
+                                         const dynamics_spec& dynamics = {});
 
 }  // namespace anole

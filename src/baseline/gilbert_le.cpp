@@ -107,11 +107,13 @@ void gilbert_node::on_round(node_ctx<gl_msg>& ctx, inbox_view<gl_msg> inbox) {
 }
 
 gilbert_result run_gilbert(const graph& g, const gilbert_params& params,
-                           std::uint64_t seed, congest_budget budget) {
+                           std::uint64_t seed, congest_budget budget,
+                           const dynamics_spec& dynamics) {
     params.validate();
     require(params.n == g.num_nodes(), "run_gilbert: params.n must equal graph size");
 
     engine<gilbert_node> eng(g, seed, budget);
+    if (dynamics.enabled()) eng.set_dynamics(dynamics, seed);
     eng.spawn([&](std::size_t u) {
         return gilbert_node(g.degree(static_cast<node_id>(u)), params);
     });

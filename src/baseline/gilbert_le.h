@@ -141,6 +141,7 @@ struct gilbert_result {
 [[nodiscard]] gilbert_result run_gilbert(const graph& g, const gilbert_params& params,
                                          std::uint64_t seed,
                                          congest_budget budget =
-                                             congest_budget::fragmenting(16));
+                                             congest_budget::fragmenting(16),
+                                         const dynamics_spec& dynamics = {});
 
 }  // namespace anole

@@ -179,12 +179,14 @@ void irrevocable_node::decide(node_ctx<ir_msg>& ctx) {
 // ---------------------------------------------------------------------------
 
 irrevocable_result run_irrevocable(const graph& g, const irrevocable_params& params,
-                                   std::uint64_t seed, congest_budget budget) {
+                                   std::uint64_t seed, congest_budget budget,
+                                   const dynamics_spec& dynamics) {
     params.validate();
     require(params.n == g.num_nodes(),
             "run_irrevocable: params.n must equal the graph size");
 
     engine<irrevocable_node> eng(g, seed, budget);
+    if (dynamics.enabled()) eng.set_dynamics(dynamics, seed);
     eng.spawn([&](std::size_t u) {
         return irrevocable_node(g.degree(static_cast<node_id>(u)), params);
     });

@@ -167,6 +167,7 @@ struct irrevocable_result {
                                                  const irrevocable_params& params,
                                                  std::uint64_t seed,
                                                  congest_budget budget =
-                                                     congest_budget::strict_log(16));
+                                                     congest_budget::strict_log(16),
+                                                 const dynamics_spec& dynamics = {});
 
 }  // namespace anole

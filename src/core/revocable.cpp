@@ -210,10 +210,11 @@ bool revocable_node::potential_above_tau() const {
 
 revocable_result run_revocable(const graph& g, const revocable_params& params,
                                std::uint64_t seed, std::uint64_t max_rounds,
-                               congest_budget budget) {
+                               congest_budget budget, const dynamics_spec& dynamics) {
     params.validate();
 
     engine<revocable_node> eng(g, seed, budget);
+    if (dynamics.enabled()) eng.set_dynamics(dynamics, seed);
     eng.spawn([&](std::size_t u) {
         return revocable_node(g.degree(static_cast<node_id>(u)), params);
     });

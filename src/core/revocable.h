@@ -158,6 +158,7 @@ struct revocable_result {
                                              std::uint64_t seed,
                                              std::uint64_t max_rounds = 500'000'000,
                                              congest_budget budget =
-                                                 congest_budget::fragmenting(16));
+                                                 congest_budget::fragmenting(16),
+                                             const dynamics_spec& dynamics = {});
 
 }  // namespace anole

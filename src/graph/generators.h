@@ -21,6 +21,13 @@
 // cheap (documented per generator); estimators fill the rest at runtime.
 // docs/TOPOLOGIES.md catalogs every family: construction, measured
 // Φ/i(G)/tmix trends, and which paper regime it stresses.
+//
+// Every family also serves as the *footprint* of the dynamic-network
+// adversary (sim/dynamics.h): churn downs non-backbone edges per window,
+// so a footprint's cycle space is exactly the adversary's room to move —
+// trees (star, binary_tree) admit no churn at all under backbone
+// protection, while dense families lose up to m − (n − 1) edges per
+// window yet stay T-interval connected. docs/DYNAMICS.md has the model.
 #pragma once
 
 #include <cstdint>

@@ -71,26 +71,28 @@ port_id graph::port_to(node_id u, node_id v) const {
     throw error("graph::port_to: not an edge");
 }
 
+void fill_port_permutation(std::uint64_t seed, node_id u, std::span<port_id> perm) {
+    std::iota(perm.begin(), perm.end(), 0);
+    xoshiro256ss rng(derive_seed(seed, u, 0x9097));
+    for (std::size_t i = perm.size(); i > 1; --i) {
+        std::swap(perm[i - 1], perm[rng.below(i)]);
+    }
+}
+
 graph graph::with_permuted_ports(std::uint64_t seed) const {
-    graph out;
-    out.offsets_ = offsets_;
-    out.nbr_.resize(nbr_.size());
-    out.rev_port_.resize(rev_port_.size());
-    out.max_degree_ = max_degree_;
+    // Full copy first, then permute the adjacency in place: building the
+    // result from the private default constructor and assigning fields one
+    // by one left every later-added member (cached profiles, auxiliary
+    // adjacency) half-initialized — copy-then-permute cannot drift.
+    graph out = *this;
     out.name_ = name_ + "+permports";
-    out.facts_ = facts_;
 
     const std::size_t n = num_nodes();
     // Per-node permutation of its port slots.
     std::vector<std::vector<port_id>> perm(n);  // perm[u][old_port] = new_port
     for (node_id u = 0; u < n; ++u) {
-        const std::size_t d = degree(u);
-        perm[u].resize(d);
-        std::iota(perm[u].begin(), perm[u].end(), 0);
-        xoshiro256ss rng(derive_seed(seed, u, 0x9097));
-        for (std::size_t i = d; i > 1; --i) {
-            std::swap(perm[u][i - 1], perm[u][rng.below(i)]);
-        }
+        perm[u].resize(degree(u));
+        fill_port_permutation(seed, u, perm[u]);
     }
     for (node_id u = 0; u < n; ++u) {
         for (port_id p = 0; p < degree(u); ++p) {

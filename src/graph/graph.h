@@ -72,7 +72,10 @@ public:
 
     // --- anonymity adversary ---
     // Returns a copy with every node's ports independently permuted at
-    // random. The abstract topology is identical; only local labels move.
+    // random (per-node permutations from fill_port_permutation, so the
+    // engine's per-round re-wiring adversary — sim/dynamics.h — reduces
+    // to this exactly when it fires once before round 0). The abstract
+    // topology is identical; only local labels move.
     [[nodiscard]] graph with_permuted_ports(std::uint64_t seed) const;
 
     // --- metadata ---
@@ -85,8 +88,6 @@ public:
     [[nodiscard]] std::vector<std::pair<node_id, node_id>> edge_list() const;
 
 private:
-    graph() = default;  // for with_permuted_ports
-
     std::vector<std::size_t> offsets_;  // n+1 entries
     std::vector<node_id> nbr_;          // 2m entries, port-ordered per node
     std::vector<port_id> rev_port_;     // parallel to nbr_
@@ -94,5 +95,12 @@ private:
     std::string name_;
     graph_facts facts_;
 };
+
+// The canonical port-relabeling draw shared by graph::with_permuted_ports
+// and the dynamics adversary (sim/dynamics.h): fills perm with a uniform
+// permutation of [0, perm.size()) — perm[old_port] = new_port — derived
+// deterministically from (seed, u). Keeping both callers on one derivation
+// is what makes "rewire every round" provably reduce to "permute once".
+void fill_port_permutation(std::uint64_t seed, node_id u, std::span<port_id> perm);
 
 }  // namespace anole

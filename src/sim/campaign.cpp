@@ -18,6 +18,15 @@ void campaign_spec::validate() const {
     require(!sizes.empty(), "campaign: need at least one size");
     require(!variants.empty(), "campaign: need at least one variant");
     require(seeds >= 1, "campaign: seeds >= 1");
+    std::set<std::string> names;
+    for (const auto& [name, d] : dynamics) {
+        require(!name.empty(), "campaign: dynamics axis entries need names");
+        require(name.find('/') == std::string::npos,
+                "campaign: dynamics name must not contain '/' (it keys records)");
+        require(names.insert(name).second,
+                "campaign: duplicate dynamics name '" + name + "'");
+        d.validate();
+    }
 }
 
 std::optional<algo_kind> variant_from_string(std::string_view name) {
@@ -97,6 +106,17 @@ campaign_spec campaign_spec_from_json(const std::string& text) {
             spec.base_seed = val.as_uint();
         } else if (key == "topology_seed") {
             spec.topology_seed = val.as_uint();
+        } else if (key == "dynamics") {
+            for (const auto& d : val.as_array()) {
+                if (d.is_string()) {
+                    const auto preset = dynamics_preset(d.as_string());
+                    require(preset.has_value(), "campaign spec: unknown dynamics "
+                                                "preset '" + d.as_string() + "'");
+                    spec.dynamics.emplace_back(d.as_string(), *preset);
+                } else {
+                    spec.dynamics.push_back(dynamics_from_json(d));
+                }
+            }
         } else if (key == "output") {
             spec.output = val.as_string();
         } else {
@@ -110,22 +130,30 @@ campaign_spec campaign_spec_from_json(const std::string& text) {
 // --- expansion --------------------------------------------------------------
 
 std::string campaign_unit::key() const {
-    return std::string(to_string(family)) + "/" + std::to_string(n) + "/t" +
-           std::to_string(topology_seed) + "/" + to_string(variant) + "/" +
-           std::to_string(seed);
+    std::string k = std::string(to_string(family)) + "/" + std::to_string(n) + "/t" +
+                    std::to_string(topology_seed) + "/" + to_string(variant) + "/" +
+                    std::to_string(seed);
+    if (!dynamics_name.empty()) k += "/" + dynamics_name;
+    return k;
 }
 
 std::vector<campaign_unit> expand(const campaign_spec& spec) {
     spec.validate();
+    // No dynamics axis = one static pass with the historical (suffix-free)
+    // unit keys.
+    std::vector<std::pair<std::string, dynamics_spec>> dyn = spec.dynamics;
+    if (dyn.empty()) dyn.emplace_back("", dynamics_spec{});
     std::vector<campaign_unit> units;
     units.reserve(spec.families.size() * spec.sizes.size() * spec.variants.size() *
-                  spec.seeds);
+                  dyn.size() * spec.seeds);
     for (const graph_family f : spec.families) {
         for (const std::size_t n : spec.sizes) {
             for (const algo_kind v : spec.variants) {
-                for (std::size_t r = 0; r < spec.seeds; ++r) {
-                    units.push_back({f, n, spec.topology_seed, v,
-                                     spec.base_seed + r});
+                for (const auto& [dname, dspec] : dyn) {
+                    for (std::size_t r = 0; r < spec.seeds; ++r) {
+                        units.push_back({f, n, spec.topology_seed, v,
+                                         spec.base_seed + r, dname, dspec});
+                    }
                 }
             }
         }
@@ -140,8 +168,13 @@ std::string campaign_record::to_json() const {
     os << "{\"key\":\"" << json_escape(unit.key()) << "\""
        << ",\"family\":\"" << to_string(unit.family) << "\""
        << ",\"n\":" << unit.n << ",\"topology_seed\":" << unit.topology_seed
-       << ",\"variant\":\"" << to_string(unit.variant) << "\""
-       << ",\"seed\":" << unit.seed << ",\"nodes\":" << nodes
+       << ",\"variant\":\"" << to_string(unit.variant) << "\"";
+    // Written only on dynamics-axis campaigns; static-only records keep
+    // the historical schema byte-for-byte.
+    if (!unit.dynamics_name.empty()) {
+        os << ",\"dynamics\":\"" << json_escape(unit.dynamics_name) << "\"";
+    }
+    os << ",\"seed\":" << unit.seed << ",\"nodes\":" << nodes
        << ",\"edges\":" << edges << ",\"phi\":" << phi << ",\"tmix\":" << tmix
        << ",\"ok\":" << (ok ? "true" : "false")
        << ",\"success\":" << (success ? "true" : "false")
@@ -163,6 +196,8 @@ campaign_record campaign_record::from_json(const std::string& line) {
     rec.unit.n = static_cast<std::size_t>(v.at("n").as_uint());
     rec.unit.topology_seed = v.at("topology_seed").as_uint();
     rec.unit.variant = *var;
+    // Tolerated missing: pre-dynamics records and static-only campaigns.
+    if (v.contains("dynamics")) rec.unit.dynamics_name = v.at("dynamics").as_string();
     rec.unit.seed = v.at("seed").as_uint();
     rec.nodes = static_cast<std::size_t>(v.at("nodes").as_uint());
     rec.edges = static_cast<std::size_t>(v.at("edges").as_uint());
@@ -188,9 +223,10 @@ text_table campaign_table(const std::vector<campaign_record>& records) {
     std::vector<std::string> order;
     std::map<std::string, std::vector<const campaign_record*>> groups;
     for (const auto& r : records) {
-        const std::string k = std::string(to_string(r.unit.family)) + "/" +
-                              std::to_string(r.unit.n) + "/" +
-                              to_string(r.unit.variant);
+        std::string k = std::string(to_string(r.unit.family)) + "/" +
+                        std::to_string(r.unit.n) + "/" +
+                        to_string(r.unit.variant);
+        if (!r.unit.dynamics_name.empty()) k += "@" + r.unit.dynamics_name;
         auto [it, inserted] = groups.try_emplace(k);
         if (inserted) order.push_back(k);
         it->second.push_back(&r);
@@ -207,8 +243,14 @@ text_table campaign_table(const std::vector<campaign_record>& records) {
             rounds.add(static_cast<double>(r->rounds));
         }
         const campaign_record& head = *g.front();
+        // Dynamics-axis cells render as "variant@model" in the existing
+        // column so the table schema never changes shape.
+        std::string variant_cell = to_string(head.unit.variant);
+        if (!head.unit.dynamics_name.empty()) {
+            variant_cell += "@" + head.unit.dynamics_name;
+        }
         t.add_row({to_string(head.unit.family), std::to_string(head.unit.n),
-                   to_string(head.unit.variant),
+                   variant_cell,
                    std::to_string(g.size()),
                    std::to_string(ok) + "/" + std::to_string(g.size()),
                    std::to_string(elected) + "/" + std::to_string(ok),
@@ -301,7 +343,9 @@ campaign_report run_campaign(const campaign_spec& spec, scenario_runner& runner)
     // One batch per topology group: all variants and seeds of a
     // (family, size) share the generated graph and its profile through
     // the runner caches, and the file is flushed between groups.
-    const std::size_t group = spec.variants.size() * spec.seeds;
+    const std::size_t group = spec.variants.size() *
+                              std::max<std::size_t>(spec.dynamics.size(), 1) *
+                              spec.seeds;
     for (std::size_t base = 0; base < units.size(); base += group) {
         std::vector<const campaign_unit*> pending;
         for (std::size_t i = base; i < base + group; ++i) {
@@ -329,6 +373,7 @@ campaign_report run_campaign(const campaign_spec& spec, scenario_runner& runner)
             s.algo = campaign_default_config(u->variant, u->n, topo.num_edges());
             s.seed = u->seed;
             s.repetitions = 1;
+            s.dynamics = u->dynamics;
             batch.push_back(std::move(s));
         }
         const std::vector<scenario_result> results = runner.run_batch(batch);

@@ -48,6 +48,11 @@ struct campaign_spec {
     // Seed of the generated topology instances (one instance per
     // (family, size), shared by every variant and run seed).
     std::uint64_t topology_seed = 1;
+    // Dynamics axis (sim/dynamics.h): named adversary models every
+    // (family, size, variant, seed) cell is additionally swept over.
+    // Empty = static network only, with unit keys identical to campaigns
+    // from before this axis existed (resume files stay compatible).
+    std::vector<std::pair<std::string, dynamics_spec>> dynamics;
     // JSONL path records stream to; empty = in-memory only (no resume).
     std::string output;
 
@@ -57,8 +62,10 @@ struct campaign_spec {
 // Parses the JSON spec schema of docs/CAMPAIGNS.md:
 //   {"families": ["barbell", "ws"], "sizes": [64, 256],
 //    "variants": ["revocable", "cautious"], "seeds": 8,
-//    "base_seed": 1, "topology_seed": 1, "output": "campaign.jsonl"}
-// Unknown families/variants/keys throw anole::error.
+//    "base_seed": 1, "topology_seed": 1, "output": "campaign.jsonl",
+//    "dynamics": ["static", "churn", {"name": "lossy", "loss_prob": 0.1}]}
+// "dynamics" entries are preset names (strings) or knob objects
+// (dynamics_from_json). Unknown families/variants/keys throw anole::error.
 [[nodiscard]] campaign_spec campaign_spec_from_json(const std::string& text);
 
 // Variant-name parser for flags and spec files: accepts the algo_kind
@@ -84,11 +91,17 @@ struct campaign_unit {
     std::uint64_t topology_seed = 1;  // instance seed (spec-wide)
     algo_kind variant;
     std::uint64_t seed = 0;
+    // Dynamics-axis coordinate; empty name = static network (no axis).
+    std::string dynamics_name = {};
+    dynamics_spec dynamics = {};
 
-    // Resume key: "family/n/t<topology_seed>/variant/seed". The topology
-    // seed is part of the key so re-running against the same file with
-    // resampled instances (--topology-seed) re-runs rather than silently
-    // skipping records measured on different graphs.
+    // Resume key: "family/n/t<topology_seed>/variant/seed", plus a
+    // "/<dynamics_name>" suffix only when a dynamics axis is configured —
+    // static-only campaigns keep the historical key format, so old resume
+    // files load unchanged. The topology seed is part of the key so
+    // re-running against the same file with resampled instances
+    // (--topology-seed) re-runs rather than silently skipping records
+    // measured on different graphs.
     [[nodiscard]] std::string key() const;
 };
 

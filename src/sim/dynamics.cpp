@@ -1,0 +1,378 @@
+#include "sim/dynamics.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace anole {
+
+// --- declaration ------------------------------------------------------------
+
+void dynamics_spec::validate() const {
+    const auto prob = [](double p, const char* what) {
+        require(p >= 0 && p <= 1, std::string("dynamics: ") + what + " must be in [0, 1]");
+    };
+    prob(rewire_prob, "rewire_prob");
+    prob(edge_down_prob, "edge_down_prob");
+    prob(loss_prob, "loss_prob");
+    prob(crash_prob, "crash_prob");
+    prob(sleep_prob, "sleep_prob");
+    require(churn_interval >= 1, "dynamics: churn_interval >= 1");
+    require(sleep_rounds >= 1, "dynamics: sleep_rounds >= 1");
+}
+
+std::string dynamics_spec::summary() const {
+    std::ostringstream os;
+    const char* sep = "";
+    if (rewire_prob > 0 || rewire_period > 0) {
+        os << sep << "rewire(";
+        if (rewire_prob > 0) os << "p=" << rewire_prob;
+        if (rewire_period > 0) os << (rewire_prob > 0 ? "," : "") << "every=" << rewire_period;
+        os << ")";
+        sep = "+";
+    }
+    if (edge_down_prob > 0) {
+        os << sep << "churn(" << edge_down_prob << "/T=" << churn_interval
+           << (protect_backbone ? "" : ",unprotected") << ")";
+        sep = "+";
+    }
+    if (loss_prob > 0) {
+        os << sep << "loss(" << loss_prob << ")";
+        sep = "+";
+    }
+    if (crash_prob > 0) {
+        os << sep << "crash(" << crash_prob << ")";
+        sep = "+";
+    }
+    if (sleep_prob > 0) {
+        os << sep << "sleep(" << sleep_prob << "x" << sleep_rounds << ")";
+        sep = "+";
+    }
+    if (*sep == '\0') return "static";
+    return os.str();
+}
+
+std::optional<dynamics_spec> dynamics_preset(std::string_view name) {
+    dynamics_spec d;
+    if (name == "static") return d;
+    if (name == "rewire") {  // the full anonymity adversary, every round
+        d.rewire_period = 1;
+        return d;
+    }
+    if (name == "churn") {  // T-interval-connected churn, T = 8
+        d.edge_down_prob = 0.25;
+        d.churn_interval = 8;
+        return d;
+    }
+    if (name == "loss") {
+        d.loss_prob = 0.05;
+        return d;
+    }
+    if (name == "crash") {
+        d.crash_prob = 0.001;
+        return d;
+    }
+    if (name == "sleep") {
+        d.sleep_prob = 0.01;
+        d.sleep_rounds = 8;
+        return d;
+    }
+    if (name == "storm") {  // everything at once, mildly
+        d.rewire_prob = 0.1;
+        d.edge_down_prob = 0.15;
+        d.churn_interval = 4;
+        d.loss_prob = 0.02;
+        d.sleep_prob = 0.005;
+        d.sleep_rounds = 4;
+        return d;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::pair<std::string, dynamics_spec>> all_dynamics_presets() {
+    std::vector<std::pair<std::string, dynamics_spec>> out;
+    for (const char* name : {"static", "rewire", "churn", "loss", "crash", "sleep",
+                             "storm"}) {
+        out.emplace_back(name, *dynamics_preset(name));
+    }
+    return out;
+}
+
+// --- slot layout -------------------------------------------------------------
+
+slot_layout::slot_layout(const graph& g) {
+    const std::size_t n = g.num_nodes();
+    base.assign(n + 1, 0);
+    for (node_id u = 0; u < n; ++u) base[u + 1] = base[u] + g.degree(u);
+    const std::size_t slots = base[n];
+    owner.resize(slots);
+    peer.resize(slots);
+    for (node_id u = 0; u < n; ++u) {
+        const auto deg = static_cast<port_id>(g.degree(u));
+        for (port_id p = 0; p < deg; ++p) {
+            owner[base[u] + p] = u;
+            peer[base[u] + p] = static_cast<std::uint32_t>(
+                base[g.neighbor(u, p)] + g.reverse_port(u, p));
+        }
+    }
+}
+
+// --- in-place rewire ---------------------------------------------------------
+
+void apply_port_rewire(const std::vector<std::size_t>& slot_base,
+                       const std::vector<node_id>& slot_owner,
+                       std::vector<std::uint32_t>& peer_slot,
+                       const std::vector<node_id>& nodes, std::uint64_t seed,
+                       std::vector<std::pair<std::uint32_t, std::uint32_t>>& moves) {
+    if (nodes.empty()) return;
+    // Index into `nodes` if v is rewired this round, else -1.
+    const auto rewired_index = [&](node_id v) -> std::ptrdiff_t {
+        const auto it = std::lower_bound(nodes.begin(), nodes.end(), v);
+        return (it != nodes.end() && *it == v) ? it - nodes.begin() : -1;
+    };
+
+    // Draw every permutation and snapshot every rewired peer range first:
+    // the in-place writes below overlap the rewired ranges. Scratch is
+    // reused across calls — the every-round rewire adversary calls this
+    // once per round, and the buffers dominate its cost otherwise.
+    static thread_local std::vector<std::size_t> off;
+    static thread_local std::vector<port_id> perm;
+    static thread_local std::vector<std::uint32_t> old_peer;
+    off.assign(nodes.size() + 1, 0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const node_id u = nodes[i];
+        off[i + 1] = off[i] + (slot_base[u + 1] - slot_base[u]);
+    }
+    perm.resize(off.back());
+    old_peer.resize(off.back());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const node_id u = nodes[i];
+        const std::size_t d = off[i + 1] - off[i];
+        fill_port_permutation(seed, u, std::span<port_id>(perm.data() + off[i], d));
+        std::copy_n(peer_slot.data() + slot_base[u], d, old_peer.data() + off[i]);
+    }
+
+    // σ relabels slots within rewired nodes' ranges and fixes the rest.
+    const auto sigma = [&](std::uint32_t t) -> std::uint32_t {
+        const node_id v = slot_owner[t];
+        const std::ptrdiff_t j = rewired_index(v);
+        if (j < 0) return t;
+        const auto p = static_cast<std::size_t>(t - slot_base[v]);
+        return static_cast<std::uint32_t>(slot_base[v] +
+                                          perm[off[static_cast<std::size_t>(j)] + p]);
+    };
+
+    // New peer table: peer'[σ(s)] = σ(peer[s]) for every directed edge
+    // with a rewired endpoint. Each such edge is visited from each of its
+    // rewired endpoints; the non-rewired side (σ = identity) is patched
+    // from here. The composition of per-node range permutations keeps
+    // peer' an involution and the induced multigraph untouched.
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const node_id u = nodes[i];
+        const std::size_t base = slot_base[u];
+        const std::size_t d = off[i + 1] - off[i];
+        for (std::size_t p = 0; p < d; ++p) {
+            const auto s = static_cast<std::uint32_t>(base + p);
+            const auto s2 = static_cast<std::uint32_t>(base + perm[off[i] + p]);
+            const std::uint32_t t = old_peer[off[i] + p];
+            peer_slot[s2] = sigma(t);
+            if (rewired_index(slot_owner[t]) < 0) peer_slot[t] = s2;
+            if (s2 != s) moves.emplace_back(s, s2);
+        }
+    }
+}
+
+// --- runtime state -----------------------------------------------------------
+
+dynamics_state::dynamics_state(const graph& g, const dynamics_spec& spec,
+                               std::uint64_t run_seed)
+    : g_(g), spec_(spec),
+      seed_(spec.seed != 0 ? spec.seed : derive_seed(run_seed, 0xD74A, 0x1C5)),
+      layout_(g) {
+    spec_.validate();
+    const std::size_t n = g.num_nodes();
+    if (spec_.edge_down_prob > 0) {
+        // Undirected edge ids per slot, and the protected BFS backbone.
+        const std::size_t m = g.num_edges();
+        slot_edge_.assign(layout_.peer.size(), 0);
+        std::uint32_t next_edge = 0;
+        for (std::uint32_t s = 0; s < layout_.peer.size(); ++s) {
+            if (s < layout_.peer[s]) {
+                slot_edge_[s] = next_edge;
+                slot_edge_[layout_.peer[s]] = next_edge;
+                ++next_edge;
+            }
+        }
+        backbone_.assign(m, 0);
+        edge_down_.assign(m, 0);
+        if (spec_.protect_backbone && n > 1) {
+            std::vector<char> vis(n, 0);
+            std::queue<node_id> q;
+            q.push(0);
+            vis[0] = 1;
+            while (!q.empty()) {
+                const node_id u = q.front();
+                q.pop();
+                const auto deg = static_cast<port_id>(g.degree(u));
+                for (port_id p = 0; p < deg; ++p) {
+                    const node_id v = g.neighbor(u, p);
+                    if (vis[v]) continue;
+                    vis[v] = 1;
+                    backbone_[slot_edge_[layout_.base[u] + p]] = 1;
+                    q.push(v);
+                }
+            }
+        }
+    }
+    if (spec_.sleep_prob > 0) sleep_until_.assign(n, 0);
+}
+
+const std::vector<std::pair<std::uint32_t, std::uint32_t>>& dynamics_state::plan_rewire(
+    std::uint64_t round, std::vector<std::uint32_t>& peer_slot,
+    const std::vector<char>& halted) {
+    moves_.clear();
+    if (spec_.rewire_prob <= 0 && spec_.rewire_period == 0) return moves_;
+    rewired_.clear();
+    const bool periodic =
+        spec_.rewire_period > 0 && round % spec_.rewire_period == 0;
+    const std::size_t n = g_.num_nodes();
+    for (node_id u = 0; u < n; ++u) {
+        if (halted[u]) continue;
+        if (periodic ||
+            detail::hash_bernoulli(seed_, round, u, 0x5E11, spec_.rewire_prob)) {
+            rewired_.push_back(u);
+        }
+    }
+    if (rewired_.empty()) return moves_;
+    apply_port_rewire(layout_.base, layout_.owner, peer_slot, rewired_,
+                      rewire_seed(round), moves_);
+    // Auxiliary per-slot tables relocate along with the payload.
+    if (!slot_edge_.empty()) {
+        static thread_local std::vector<std::uint32_t> scratch;
+        scratch.clear();
+        for (const auto& [src, dst] : moves_) scratch.push_back(slot_edge_[src]);
+        for (std::size_t i = 0; i < moves_.size(); ++i) {
+            slot_edge_[moves_[i].second] = scratch[i];
+        }
+    }
+    stats_.rewired_nodes += rewired_.size();
+    for (const node_id u : rewired_) note(0x11 + u);
+    return moves_;
+}
+
+void dynamics_state::apply_message_faults(std::uint64_t round, std::uint32_t mark,
+                                          std::vector<std::uint32_t>& cur_stamp) {
+    const bool churn = spec_.edge_down_prob > 0;
+    const bool loss = spec_.loss_prob > 0;
+    if (!churn && !loss) return;
+    if (churn) {
+        const std::uint64_t window = round / spec_.churn_interval;
+        if (window != window_) {
+            window_ = window;
+            down_count_ = 0;
+            for (std::size_t e = 0; e < edge_down_.size(); ++e) {
+                const bool down =
+                    !backbone_[e] && detail::hash_bernoulli(seed_, window, e, 0xC5A2,
+                                                            spec_.edge_down_prob);
+                edge_down_[e] = down ? 1 : 0;
+                if (down) {
+                    ++down_count_;
+                    note(0x22 + e);
+                }
+            }
+        }
+        stats_.edge_down_rounds += down_count_;
+    }
+    for (std::uint32_t s = 0; s < cur_stamp.size(); ++s) {
+        if (cur_stamp[s] != mark) continue;
+        ++stats_.deliveries;
+        if (churn && edge_down_[slot_edge_[s]]) {
+            cur_stamp[s] = 0;  // 0 never matches a delivery mark
+            ++stats_.churned_messages;
+            note(0x33 + s);
+        } else if (loss &&
+                   detail::hash_bernoulli(seed_, round, s, 0x1055, spec_.loss_prob)) {
+            cur_stamp[s] = 0;
+            ++stats_.lost_messages;
+            note(0x44 + s);
+        }
+    }
+}
+
+const std::vector<node_id>& dynamics_state::plan_node_faults(
+    std::uint64_t round, const std::vector<char>& halted) {
+    crashed_.clear();
+    if (spec_.crash_prob <= 0 && spec_.sleep_prob <= 0) return crashed_;
+    const std::size_t n = g_.num_nodes();
+    for (node_id u = 0; u < n; ++u) {
+        if (halted[u]) continue;
+        if (asleep(u, round)) continue;
+        if (spec_.crash_prob > 0) {
+            ++stats_.crash_trials;
+            if (detail::hash_bernoulli(seed_, round, u, 0xC8A5, spec_.crash_prob)) {
+                crashed_.push_back(u);
+                ++stats_.crashes;
+                note(0x55 + u);
+                continue;
+            }
+        }
+        if (spec_.sleep_prob > 0 &&
+            detail::hash_bernoulli(seed_, round, u, 0x51EE, spec_.sleep_prob)) {
+            sleep_until_[u] = round + spec_.sleep_rounds;
+            ++stats_.sleep_events;
+            note(0x66 + u);
+        }
+    }
+    return crashed_;
+}
+
+// --- parsing -----------------------------------------------------------------
+
+std::pair<std::string, dynamics_spec> dynamics_from_json(const json_value& v) {
+    std::string name;
+    dynamics_spec d;
+    bool any_knob = false;
+    for (const auto& [key, val] : v.as_object()) {
+        if (key == "name") {
+            name = val.as_string();
+            continue;
+        }
+        any_knob = true;
+        if (key == "rewire_prob") {
+            d.rewire_prob = val.as_number();
+        } else if (key == "rewire_period") {
+            d.rewire_period = val.as_uint();
+        } else if (key == "edge_down_prob") {
+            d.edge_down_prob = val.as_number();
+        } else if (key == "churn_interval") {
+            d.churn_interval = val.as_uint();
+        } else if (key == "protect_backbone") {
+            d.protect_backbone = val.as_bool();
+        } else if (key == "loss_prob") {
+            d.loss_prob = val.as_number();
+        } else if (key == "crash_prob") {
+            d.crash_prob = val.as_number();
+        } else if (key == "sleep_prob") {
+            d.sleep_prob = val.as_number();
+        } else if (key == "sleep_rounds") {
+            d.sleep_rounds = val.as_uint();
+        } else if (key == "seed") {
+            d.seed = val.as_uint();
+        } else {
+            throw error("dynamics spec: unknown key '" + key + "'");
+        }
+    }
+    require(!name.empty() || any_knob, "dynamics spec: entry needs a name or knobs");
+    if (!any_knob) {
+        const auto preset = dynamics_preset(name);
+        require(preset.has_value(), "dynamics spec: unknown preset '" + name + "'");
+        d = *preset;
+    }
+    if (name.empty()) name = d.summary();
+    d.validate();
+    return {std::move(name), d};
+}
+
+}  // namespace anole

@@ -1,0 +1,268 @@
+// anole — dynamic / adversarial network layer.
+//
+// The paper's title says *dynamic* distributed computing, but until this
+// layer every scenario ran on a static graph. A `dynamics_spec` attached
+// to a scenario composes per-round adversary events that the engine
+// applies at each round boundary, before delivery:
+//
+//   * port re-wiring — the anonymity adversary. graph::with_permuted_ports
+//     permutes every node's port labels exactly once, at construction;
+//     here the adversary may relabel any subset of nodes *every round*,
+//     in place, in O(changed degree): the engine's flat 2m-slot CSR
+//     layout survives because a per-node relabeling is a permutation of
+//     that node's own slot range — peer-table entries and in-flight
+//     messages move together, so the `peer_slot_` involution stays exact
+//     and delivery stays one table load. Physically nothing changes:
+//     the same nodes exchange the same messages, only the port numbers
+//     they observe are shuffled. A single firing before round 0 is
+//     bitwise-equivalent to running on with_permuted_ports (both draw
+//     per-node permutations via fill_port_permutation).
+//
+//   * edge churn — a T-interval-connectivity generator over any footprint
+//     from the topology zoo. Time is cut into windows of `interval`
+//     rounds; at each window start every non-backbone edge goes down
+//     independently with probability `down_prob` and stays down for the
+//     window. The backbone (a BFS spanning tree of the footprint) is
+//     never churned when `protect_backbone` is set, so the intersection
+//     of every window's live graph — indeed every single round's live
+//     graph — contains a connected spanning subgraph: the classic
+//     T-interval-connected adversary with T = interval. Messages on a
+//     down edge are destroyed at delivery time.
+//
+//   * message loss — i.i.d. faults: every delivered message is destroyed
+//     independently with probability `loss_prob`. Decisions are hashed
+//     from (seed, round, slot), so they are identical for every
+//     `--node-jobs` value and never touch the nodes' private RNG streams.
+//
+//   * node crash / sleep — per live node per round: a crashed node is
+//     permanently silent (the engine treats it as halted, so runs always
+//     terminate with a verdict); a sleeping node skips `sleep_rounds`
+//     rounds and resumes — the stamp-based slot liveness already
+//     tolerates absence, messages that arrive while asleep simply expire
+//     unread (quiescent slots).
+//
+// Cost accounting: senders are charged at send time, so messages killed
+// by loss or churn still count against the message/bit budget lines and
+// against fragmenting congest_rounds — the network was paid, delivery
+// failed. docs/DYNAMICS.md specifies the schedule schema and semantics.
+//
+// Everything here is deterministic in (spec.seed | run seed): the whole
+// event schedule is a pure function of the seed, hashed per
+// (round, entity) — never of thread interleaving. The engine applies all
+// dynamics in a serial pre-round pass, so sharded rounds stay bitwise
+// identical to serial ones.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace anole {
+
+// --- declaration ------------------------------------------------------------
+
+struct dynamics_spec {
+    // Port re-wiring adversary: each live node's ports are relabeled this
+    // round with probability `rewire_prob`; additionally, if
+    // `rewire_period` > 0, *every* node is relabeled in rounds that are
+    // multiples of the period (period 1 = the full every-round adversary;
+    // a period beyond the run length fires at round 0 only, which is the
+    // with_permuted_ports reduction).
+    double rewire_prob = 0;
+    std::uint64_t rewire_period = 0;
+
+    // Edge churn: per window of `churn_interval` rounds, each non-backbone
+    // edge is down with probability `edge_down_prob`. With
+    // `protect_backbone`, a BFS spanning tree never churns (T-interval
+    // connectivity, T = churn_interval); without it the live graph may
+    // disconnect — algorithms must still reach a bounded verdict.
+    double edge_down_prob = 0;
+    std::uint64_t churn_interval = 1;
+    bool protect_backbone = true;
+
+    // Fault models.
+    double loss_prob = 0;   // i.i.d. per delivered message
+    double crash_prob = 0;  // per live node per round, permanent
+    double sleep_prob = 0;  // per live node per round
+    std::uint64_t sleep_rounds = 4;
+
+    // Schedule seed; 0 = derived from the run seed, so repetitions see
+    // independent schedules while staying reproducible.
+    std::uint64_t seed = 0;
+
+    [[nodiscard]] bool enabled() const noexcept {
+        return rewire_prob > 0 || rewire_period > 0 || edge_down_prob > 0 ||
+               loss_prob > 0 || crash_prob > 0 || sleep_prob > 0;
+    }
+    // "rewire(p=0.1)+churn(0.2/T=8)+loss(0.05)" — table/JSON label.
+    [[nodiscard]] std::string summary() const;
+
+    void validate() const;
+};
+
+// Named presets for CLI axes (bench_dynamics, bench_campaign --dynamics):
+// static, rewire, churn, loss, crash, sleep, storm. nullopt for unknown.
+[[nodiscard]] std::optional<dynamics_spec> dynamics_preset(std::string_view name);
+[[nodiscard]] std::vector<std::pair<std::string, dynamics_spec>> all_dynamics_presets();
+
+// --- realized-schedule statistics -------------------------------------------
+
+// Tallied by the engine's pre-round pass; the chi-squared fault-model
+// tests compare realized rates against the configured probabilities.
+struct dynamics_stats {
+    std::uint64_t rewired_nodes = 0;    // node relabelings applied
+    std::uint64_t deliveries = 0;       // live messages inspected at delivery
+    std::uint64_t lost_messages = 0;    // killed by i.i.d. loss
+    std::uint64_t churned_messages = 0; // killed on a down edge
+    std::uint64_t edge_down_rounds = 0; // Σ over rounds of down edges
+    std::uint64_t crashes = 0;
+    std::uint64_t crash_trials = 0;     // live-node crash draws
+    std::uint64_t sleep_events = 0;
+    // Order-fixed hash over every event the adversary emitted (rewired
+    // node ids, down edge ids, killed slots, crashes, sleeps): two runs
+    // with equal digests realized byte-identical schedules.
+    std::uint64_t schedule_digest = 0;
+
+    friend bool operator==(const dynamics_stats&, const dynamics_stats&) = default;
+};
+
+// --- slot-layout primitives --------------------------------------------------
+
+// The engine's sender-major CSR slot tables, reproduced here so the
+// rewire algorithm is unit-testable without an engine: slot(u, p) =
+// base[u] + p, peer[slot(u, p)] = the reverse directed edge's slot (an
+// involution), owner[s] = the node whose out-slot s is.
+struct slot_layout {
+    std::vector<std::size_t> base;       // n+1 CSR offsets
+    std::vector<node_id> owner;          // 2m entries
+    std::vector<std::uint32_t> peer;     // 2m entries, involution
+
+    explicit slot_layout(const graph& g);
+};
+
+// Applies the port relabelings of `nodes` (sorted, unique) to the peer
+// table in place — peer stays an involution and the induced multigraph
+// {owner[s], owner[peer[s]]} is untouched — and appends to `moves` one
+// (old slot, new slot) pair per slot whose position changed, so callers
+// can relocate parallel payload arrays (in-flight messages, stamps, edge
+// ids) with a gather/scatter. Per-node permutations are drawn via
+// fill_port_permutation(seed, u), identical to with_permuted_ports(seed).
+// O(Σ degree(u) · log |nodes|).
+void apply_port_rewire(const std::vector<std::size_t>& slot_base,
+                       const std::vector<node_id>& slot_owner,
+                       std::vector<std::uint32_t>& peer_slot,
+                       const std::vector<node_id>& nodes, std::uint64_t seed,
+                       std::vector<std::pair<std::uint32_t, std::uint32_t>>& moves);
+
+// --- runtime state -----------------------------------------------------------
+
+namespace detail {
+
+// Hash-based Bernoulli: one draw per (seed, round, entity, tag) — stable
+// under resharding and cheap enough for per-message use.
+[[nodiscard]] inline bool hash_bernoulli(std::uint64_t seed, std::uint64_t round,
+                                         std::uint64_t entity, std::uint64_t tag,
+                                         double p) noexcept {
+    if (p <= 0) return false;
+    if (p >= 1) return true;
+    const std::uint64_t h = derive_seed(seed ^ tag, round, entity);
+    return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+}
+
+}  // namespace detail
+
+// Per-engine adversary state: owns the schedule (windowed churn draws,
+// sleep clocks), the auxiliary slot tables (owner, edge ids) and the
+// realized-event statistics. The engine calls the three plan_* /
+// apply_* hooks serially at the top of every step(); the only per-node
+// query from inside sharded rounds is asleep(), which is read-only.
+class dynamics_state {
+public:
+    dynamics_state(const graph& g, const dynamics_spec& spec, std::uint64_t run_seed);
+
+    [[nodiscard]] const dynamics_spec& spec() const noexcept { return spec_; }
+    [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+    // Master seed of round r's relabeling draws; with_permuted_ports of
+    // this seed equals a full rewire firing in round r (the reduction the
+    // port_rewire tests pin).
+    [[nodiscard]] std::uint64_t rewire_seed(std::uint64_t round) const noexcept {
+        return derive_seed(seed_, round, 0x5EBA11);
+    }
+
+    // (1) Port re-wiring: updates `peer_slot` in place for the nodes the
+    // adversary relabels in `round` (skipping halted nodes) and returns
+    // the payload moves the engine must mirror onto its in-flight
+    // message/stamp arrays. The returned reference is valid until the
+    // next call.
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& plan_rewire(
+        std::uint64_t round, std::vector<std::uint32_t>& peer_slot,
+        const std::vector<char>& halted);
+
+    // (2)+(3) Edge churn and message loss: redraws the churn window if it
+    // expired, then kills (stamp := 0) every live slot whose edge is down
+    // or that loses its i.i.d. draw. `mark` is the round's delivery stamp.
+    void apply_message_faults(std::uint64_t round, std::uint32_t mark,
+                              std::vector<std::uint32_t>& cur_stamp);
+
+    // (4) Node faults: draws crash/sleep for every live node. Newly
+    // crashed nodes are returned for the engine to fold into its halted
+    // set; sleep clocks are updated internally.
+    const std::vector<node_id>& plan_node_faults(std::uint64_t round,
+                                                 const std::vector<char>& halted);
+
+    // Read-only, called from sharded rounds: is u asleep in `round`?
+    [[nodiscard]] bool asleep(node_id u, std::uint64_t round) const noexcept {
+        return !sleep_until_.empty() && sleep_until_[u] > round;
+    }
+
+    [[nodiscard]] const dynamics_stats& stats() const noexcept { return stats_; }
+
+private:
+    void note(std::uint64_t event) noexcept {
+        stats_.schedule_digest =
+            splitmix64_next(stats_.schedule_digest += event * 0x9e3779b97f4a7c15ULL);
+    }
+
+    const graph& g_;
+    dynamics_spec spec_;
+    std::uint64_t seed_;
+
+    slot_layout layout_;
+    // Churn: undirected edge id per slot (maintained under rewires), the
+    // backbone mask, and the current window's down set.
+    std::vector<std::uint32_t> slot_edge_;
+    std::vector<char> backbone_;
+    std::vector<char> edge_down_;
+    std::uint64_t window_ = ~std::uint64_t{0};  // last redrawn churn window
+    std::size_t down_count_ = 0;
+
+    std::vector<std::uint64_t> sleep_until_;
+
+    // Reused per-round scratch.
+    std::vector<node_id> rewired_;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> moves_;
+    std::vector<node_id> crashed_;
+
+    dynamics_stats stats_;
+};
+
+// --- parsing -----------------------------------------------------------------
+
+// Spec-file form (campaign "dynamics" axis entries; docs/DYNAMICS.md):
+//   {"name": "storm", "rewire_prob": 0.1, "rewire_period": 0,
+//    "edge_down_prob": 0.2, "churn_interval": 8, "protect_backbone": true,
+//    "loss_prob": 0.05, "crash_prob": 0.001, "sleep_prob": 0.01,
+//    "sleep_rounds": 4, "seed": 0}
+// All keys optional except that the entry must either name a preset or
+// set at least one knob. A bare {"name": "loss"} resolves the preset.
+class json_value;
+[[nodiscard]] std::pair<std::string, dynamics_spec> dynamics_from_json(
+    const json_value& v);
+
+}  // namespace anole

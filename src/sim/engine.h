@@ -84,6 +84,7 @@
 
 #include "graph/graph.h"
 #include "sim/budget.h"
+#include "sim/dynamics.h"
 #include "sim/metrics.h"
 #include "sim/thread_pool.h"
 #include "util/error.h"
@@ -361,6 +362,20 @@ public:
     }
     [[nodiscard]] std::size_t node_jobs() const noexcept { return par_.node_jobs; }
 
+    // Attaches the dynamic-network adversary (sim/dynamics.h). Must be
+    // called before the first step(); the whole event schedule is a pure
+    // function of (spec, run_seed), applied in a serial pre-round pass so
+    // sharded rounds stay bitwise-identical to serial ones.
+    void set_dynamics(const dynamics_spec& spec, std::uint64_t run_seed) {
+        require(round_ == 0, "engine::set_dynamics: call before the first round");
+        if (spec.enabled()) {
+            dyn_ = std::make_unique<dynamics_state>(g_, spec, run_seed);
+        } else {
+            dyn_.reset();
+        }
+    }
+    [[nodiscard]] const dynamics_state* dynamics() const noexcept { return dyn_.get(); }
+
     // Constructs the per-node protocol instances: factory(node_index) -> P.
     // The index is for construction-time parameters only; conforming
     // protocols never branch on identity (see the permuted-port tests).
@@ -391,6 +406,14 @@ public:
         std::uint64_t done = 0;
         while (!pred()) {
             require(done < max_rounds, "engine::run_until: exceeded max_rounds");
+            // Once every node halted (protocol halts plus crashes),
+            // protocol state is frozen: further rounds can never satisfy
+            // the predicate. Fail now instead of spinning to max_rounds —
+            // under crash faults this is what turns a dead network into a
+            // bounded verdict instead of a multi-million-round spin.
+            require(halted_count_ < g_.num_nodes(),
+                    "engine::run_until: all nodes halted without satisfying the "
+                    "predicate");
             step();
             ++done;
         }
@@ -404,6 +427,7 @@ public:
         // largest budget in the tree (revocable's 3e7) but cheap to keep
         // honest.
         require(round_ < 0xfffffffdull, "engine::step: stamp space exhausted");
+        if (dyn_) apply_dynamics();
         const std::size_t n = g_.num_nodes();
         const std::size_t shards =
             par_.node_jobs <= 1 ? 1 : std::min(par_.node_jobs, n);
@@ -431,6 +455,35 @@ public:
     }
 
 private:
+    // The serial pre-round adversary pass (see sim/dynamics.h): re-wires
+    // ports (relocating in-flight payloads alongside their slots, so the
+    // peer_slot_ involution and physical delivery stay exact), kills
+    // messages on down/lossy edges, and folds crashes into the halted
+    // set. Runs before shards fork; nothing here touches node RNG streams.
+    void apply_dynamics() {
+        const auto& moves = dyn_->plan_rewire(round_, peer_slot_, halted_);
+        if (!moves.empty()) {
+            // Gather payloads at old slots, then scatter to new ones —
+            // cycles in the slot permutation make in-place moves unsafe.
+            move_msg_.clear();
+            move_stamp_.clear();
+            for (const auto& [src, dst] : moves) {
+                move_msg_.push_back(std::move(cur_msg_[src]));
+                move_stamp_.push_back(cur_stamp_[src]);
+            }
+            for (std::size_t i = 0; i < moves.size(); ++i) {
+                cur_msg_[moves[i].second] = std::move(move_msg_[i]);
+                cur_stamp_[moves[i].second] = move_stamp_[i];
+            }
+        }
+        dyn_->apply_message_faults(round_, static_cast<std::uint32_t>(round_ + 1),
+                                   cur_stamp_);
+        for (const node_id u : dyn_->plan_node_faults(round_, halted_)) {
+            halted_[u] = 1;  // crash: permanently silent, counts as halted
+            ++halted_count_;
+        }
+    }
+
     // The body of one round: process every shard and reduce its costs
     // into `total`; throws propagate (first shard wins in sharded mode).
     void run_shards(std::size_t n, std::size_t shards, round_acc& total) {
@@ -497,6 +550,10 @@ private:
         const auto stamp = static_cast<std::uint32_t>(round_ + 2);
         for (node_id u = lo; u < hi; ++u) {
             if (halted_[u]) continue;
+            // Sleeping nodes skip the round entirely; messages delivered
+            // to them this round expire unread (stamps only grow).
+            // asleep() is read-only, so the shard stays race-free.
+            if (dyn_ && dyn_->asleep(u, round_)) continue;
             const std::size_t base = slot_base_[u];
             node_ctx<message_type> ctx;
             ctx.degree_ = g_.degree(u);
@@ -545,6 +602,10 @@ private:
     std::vector<P> procs_;
     std::vector<char> halted_;
     std::vector<round_acc> accs_;  // reused shard accumulators
+    std::unique_ptr<dynamics_state> dyn_;  // nullptr = static network
+    // Reused gather buffers for relocating in-flight payloads on rewire.
+    std::vector<message_type> move_msg_;
+    std::vector<std::uint32_t> move_stamp_;
     std::size_t halted_count_ = 0;
     std::uint64_t round_ = 0;
     sim_metrics metrics_;

@@ -36,7 +36,8 @@ revocable_params scenario_runner::fill(const revocable_cfg& c,
 namespace {
 
 cb_result run_cautious(const graph& g, const graph_profile& prof,
-                       const cautious_cfg& c, std::uint64_t seed) {
+                       const cautious_cfg& c, std::uint64_t seed,
+                       const dynamics_spec& dynamics) {
     cb_config cfg = c.config;
     if (c.cap_x > 0) {
         const double cap = c.cap_x * static_cast<double>(prof.mixing_time) *
@@ -52,6 +53,7 @@ cb_result run_cautious(const graph& g, const graph_profile& prof,
     }
     engine<cautious_broadcast_node> eng(
         g, seed, c.budget.value_or(congest_budget::strict_log(16)));
+    if (dynamics.enabled()) eng.set_dynamics(dynamics, seed);
     eng.spawn([&](std::size_t u) {
         return cautious_broadcast_node(g.degree(static_cast<node_id>(u)), u == 0,
                                        c.source_id, cfg, rounds);
@@ -75,28 +77,31 @@ cb_result run_cautious(const graph& g, const graph_profile& prof,
 // --- one repetition ----------------------------------------------------------
 
 run_record scenario_runner::run_once(const graph& g, const graph_profile& prof,
-                                     const algo_config& cfg, std::uint64_t seed) {
+                                     const algo_config& cfg, std::uint64_t seed,
+                                     const dynamics_spec& dynamics) {
     run_record rec;
     rec.seed = seed;
     try {
         if (const auto* f = std::get_if<flood_cfg>(&cfg)) {
             const std::uint64_t d = f->diameter != 0 ? f->diameter : prof.diameter;
             rec.detail = run_flood_max(
-                g, d, seed, f->budget.value_or(congest_budget::strict_log(16)));
+                g, d, seed, f->budget.value_or(congest_budget::strict_log(16)),
+                dynamics);
         } else if (const auto* gb = std::get_if<gilbert_cfg>(&cfg)) {
             rec.detail = run_gilbert(
                 g, fill(gb->params, prof), seed,
-                gb->budget.value_or(congest_budget::fragmenting(16)));
+                gb->budget.value_or(congest_budget::fragmenting(16)), dynamics);
         } else if (const auto* ir = std::get_if<irrevocable_cfg>(&cfg)) {
             rec.detail = run_irrevocable(
                 g, fill(ir->params, prof), seed,
-                ir->budget.value_or(congest_budget::strict_log(16)));
+                ir->budget.value_or(congest_budget::strict_log(16)), dynamics);
         } else if (const auto* rv = std::get_if<revocable_cfg>(&cfg)) {
             rec.detail = run_revocable(
                 g, fill(*rv, prof), seed, rv->max_rounds,
-                rv->budget.value_or(congest_budget::fragmenting(16)));
+                rv->budget.value_or(congest_budget::fragmenting(16)), dynamics);
         } else {
-            rec.detail = run_cautious(g, prof, std::get<cautious_cfg>(cfg), seed);
+            rec.detail = run_cautious(g, prof, std::get<cautious_cfg>(cfg), seed,
+                                      dynamics);
         }
         rec.ok = true;
     } catch (const std::exception& e) {
@@ -173,7 +178,7 @@ scenario_result scenario_runner::run(const scenario& s) {
         // parallelism; rounds shard over this same pool (helping waits
         // make the nesting deadlock-free).
         scoped_engine_parallelism par(engine_parallelism{&pool_, node_jobs});
-        out.runs[r] = run_once(g, out.profile, s.algo, s.seed + r);
+        out.runs[r] = run_once(g, out.profile, s.algo, s.seed + r, s.dynamics);
     });
     return out;
 }
@@ -203,7 +208,8 @@ std::vector<scenario_result> scenario_runner::run_batch(
                 scoped_engine_parallelism par(
                     engine_parallelism{&pool_, node_jobs});
                 results[i].runs[r] = run_once(*results[i].topology, results[i].profile,
-                                              batch[i].algo, batch[i].seed + r);
+                                              batch[i].algo, batch[i].seed + r,
+                                              batch[i].dynamics);
             });
         }
     }

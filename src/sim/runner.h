@@ -68,9 +68,11 @@ public:
     [[nodiscard]] std::size_t cached_profiles() const;
 
     // One repetition, no pooling — the primitive run()/run_batch() fan
-    // out. Exposed for tests and custom harnesses.
+    // out. Exposed for tests and custom harnesses. `dynamics` attaches
+    // the per-round adversary (sim/dynamics.h); default = static network.
     [[nodiscard]] static run_record run_once(const graph& g, const graph_profile& prof,
-                                             const algo_config& cfg, std::uint64_t seed);
+                                             const algo_config& cfg, std::uint64_t seed,
+                                             const dynamics_spec& dynamics = {});
 
     // The parameter auto-fill run_once applies, exposed for reuse:
     // zero-valued model inputs are replaced from the profile.
