@@ -129,5 +129,64 @@ int main(int argc, char** argv) {
     }
     emit(t, opt, "DYNAMICS: verdicts under per-round adversaries");
     warn_errors(results);
+
+    // --- adaptive vs oblivious: does *aiming* the same fault budget hurt
+    // more? The leader_assassin crashes exactly the standing leader; the
+    // i.i.d. crash preset kills uniformly at random. Revocable is the one
+    // algorithm that can re-elect after losing a leader, so its cells
+    // carry a "recovered" column: runs where the oracle saw a crashed
+    // leader AND a live one at exit (assassination absorbed, new epoch
+    // won). Flood rides along as the no-recovery contrast row.
+    dynamics_spec assassin = *dynamics_preset("assassin");
+    const std::vector<std::pair<std::string, dynamics_spec>> duel = {
+        {"static", dynamics_spec{}},
+        {"crash", *dynamics_preset("crash")},  // oblivious i.i.d.
+        {"assassin", std::move(assassin)},     // adaptive, same budget class
+    };
+    const std::vector<std::pair<std::string, algo_config>> duel_algos = {
+        {"flood_max", campaign_default_config(algo_kind::flood_max, n)},
+        {"revocable", algos[3].second},
+    };
+    std::vector<scenario> duel_batch;
+    for (const auto& topo : topologies) {
+        for (const auto& [aname, cfg] : duel_algos) {
+            for (const auto& [dname, dspec] : duel) {
+                scenario s;
+                s.label = std::string(to_string(topo.family)) + "/" + aname + "@" +
+                          dname;
+                s.topology = topo;
+                s.algo = cfg;
+                s.seed = 4700;
+                s.repetitions = seeds;
+                s.dynamics = dspec;
+                duel_batch.push_back(std::move(s));
+            }
+        }
+    }
+    const std::vector<scenario_result> duels = runner.run_batch(duel_batch);
+
+    text_table duel_t({"cell", "elected", "leader_killed", "recovered", "safe",
+                       "rounds", "messages"});
+    for (const auto& res : duels) {
+        const outcome_counts c = count_outcomes(res);
+        std::size_t killed = 0, recovered = 0, safe = 0;
+        for (const auto& run : res.runs) {
+            if (!run.ok) continue;
+            const oracle_report orc = run.oracle();
+            if (orc.pass()) ++safe;
+            if (orc.crashed_leaders > 0) {
+                ++killed;
+                if (orc.live_leaders >= 1) ++recovered;
+            }
+        }
+        duel_t.add_row({res.label,
+                        std::to_string(c.unique) + "/" +
+                            std::to_string(res.runs.size()),
+                        std::to_string(killed), std::to_string(recovered),
+                        std::to_string(safe), fmt_mean_sd(res.rounds()),
+                        fmt_mean_sd(res.messages())});
+    }
+    emit(duel_t, opt, "DYNAMICS: adaptive (assassin) vs oblivious (crash)");
+    warn_errors(duels);
     return 0;
 }

@@ -14,6 +14,15 @@ flood_result run_flood_max(const graph& g, std::uint64_t diameter, std::uint64_t
     eng.spawn([&](std::size_t u) {
         return flood_max_node(g.degree(static_cast<node_id>(u)), id_space, diameter + 1);
     });
+    const auto probe = [&eng](std::size_t u) {
+        const auto& nd = eng.node(u);
+        node_status st;
+        st.decided = nd.done();
+        st.leader = nd.is_leader();
+        st.own_id = nd.id();
+        return st;
+    };
+    eng.set_status_probe(probe);
     eng.set_phase("flood");
     eng.run_until_halted(diameter + 3);
 
@@ -21,12 +30,14 @@ flood_result run_flood_max(const graph& g, std::uint64_t diameter, std::uint64_t
     res.rounds = eng.round();
     res.totals = eng.metrics().total();
     for (std::size_t u = 0; u < n; ++u) {
+        if (!eng.node_present(u) || eng.node_crashed(u)) continue;
         if (eng.node(u).is_leader()) {
             ++res.num_leaders;
             res.leader_id = eng.node(u).id();
         }
     }
     res.success = res.num_leaders == 1;
+    res.oracle = run_oracle(eng, probe, {.round_cap = diameter + 3});
     return res;
 }
 

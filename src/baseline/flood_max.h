@@ -18,6 +18,7 @@
 
 #include "graph/graph.h"
 #include "sim/engine.h"
+#include "sim/oracle.h"
 #include "util/bit_codec.h"
 
 namespace anole {
@@ -45,7 +46,9 @@ public:
             if (msg.id > max_) max_ = msg.id;
         }
         if (ctx.round() >= rounds_) {
-            leader_ = max_ == id_;
+            // id_ == 0 means this instance joined after round 0 and never
+            // drew an ID — it cannot claim leadership.
+            leader_ = id_ != 0 && max_ == id_;
             done_ = true;
             ctx.halt();
             return;
@@ -77,10 +80,11 @@ private:
 
 struct flood_result {
     bool success = false;
-    std::size_t num_leaders = 0;
+    std::size_t num_leaders = 0;  // leaders among live nodes
     std::uint64_t leader_id = 0;
     std::uint64_t rounds = 0;
     phase_counters totals;
+    oracle_report oracle;  // sim/oracle.h safety verdicts
 };
 
 // Runs flood-max with `diameter` + 1 rounds of flooding. A non-trivial

@@ -117,6 +117,15 @@ gilbert_result run_gilbert(const graph& g, const gilbert_params& params,
     eng.spawn([&](std::size_t u) {
         return gilbert_node(g.degree(static_cast<node_id>(u)), params);
     });
+    const auto probe = [&eng](std::size_t u) {
+        const auto& nd = eng.node(u);
+        node_status st;
+        st.decided = nd.is_leader() || nd.killed();
+        st.leader = nd.is_leader();
+        st.own_id = nd.id();
+        return st;
+    };
+    eng.set_status_probe(probe);
     eng.set_phase("gilbert");
     eng.run_rounds(params.total_rounds() + 1);
 
@@ -125,6 +134,7 @@ gilbert_result run_gilbert(const graph& g, const gilbert_params& params,
     res.totals = eng.metrics().total();
     std::uint64_t max_cand = 0;
     for (std::size_t u = 0; u < eng.num_nodes(); ++u) {
+        if (!eng.node_present(u) || eng.node_crashed(u)) continue;
         const auto& nd = eng.node(u);
         if (nd.is_candidate()) {
             ++res.num_candidates;
@@ -137,6 +147,7 @@ gilbert_result run_gilbert(const graph& g, const gilbert_params& params,
     }
     res.success = res.num_leaders == 1;
     res.max_candidate_won = res.success && res.leader_id == max_cand;
+    res.oracle = run_oracle(eng, probe, {.round_cap = params.total_rounds() + 1});
     return res;
 }
 

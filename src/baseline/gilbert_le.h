@@ -38,6 +38,7 @@
 
 #include "graph/graph.h"
 #include "sim/engine.h"
+#include "sim/oracle.h"
 #include "util/bit_codec.h"
 
 namespace anole {
@@ -130,12 +131,13 @@ private:
 
 struct gilbert_result {
     bool success = false;
-    std::size_t num_candidates = 0;
-    std::size_t num_leaders = 0;
+    std::size_t num_candidates = 0;   // candidates among live nodes
+    std::size_t num_leaders = 0;      // leaders among live nodes
     std::uint64_t leader_id = 0;
     bool max_candidate_won = false;
     std::uint64_t rounds = 0;
     phase_counters totals;
+    oracle_report oracle;  // sim/oracle.h safety verdicts
 };
 
 [[nodiscard]] gilbert_result run_gilbert(const graph& g, const gilbert_params& params,

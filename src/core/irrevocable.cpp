@@ -190,6 +190,15 @@ irrevocable_result run_irrevocable(const graph& g, const irrevocable_params& par
     eng.spawn([&](std::size_t u) {
         return irrevocable_node(g.degree(static_cast<node_id>(u)), params);
     });
+    const auto probe = [&eng](std::size_t u) {
+        const auto& nd = eng.node(u);
+        node_status st;
+        st.decided = nd.decided();
+        st.leader = nd.is_leader();
+        st.own_id = nd.id();
+        return st;
+    };
+    eng.set_status_probe(probe);
 
     eng.set_phase("broadcast");
     eng.run_rounds(params.bc_end());
@@ -210,6 +219,8 @@ irrevocable_result run_irrevocable(const graph& g, const irrevocable_params& par
     std::uint64_t max_cand_id = 0;
     for (std::size_t u = 0; u < eng.num_nodes(); ++u) {
         const auto& node = eng.node(u);
+        res.slot_overflows += node.slot_overflows();
+        if (!eng.node_present(u) || eng.node_crashed(u)) continue;
         if (node.is_candidate()) {
             ++res.num_candidates;
             max_cand_id = std::max(max_cand_id, node.id());
@@ -218,7 +229,6 @@ irrevocable_result run_irrevocable(const graph& g, const irrevocable_params& par
             ++res.num_leaders;
             res.leader_id = node.id();
         }
-        res.slot_overflows += node.slot_overflows();
     }
     // Territory sizes: count tree membership per execution (candidate ID).
     std::map<std::uint64_t, std::uint64_t> territory;
@@ -233,6 +243,7 @@ irrevocable_result run_irrevocable(const graph& g, const irrevocable_params& par
     }
     res.success = res.num_leaders == 1;
     res.max_candidate_won = res.num_leaders == 1 && res.leader_id == max_cand_id;
+    res.oracle = run_oracle(eng, probe, {.round_cap = params.total_rounds() + 1});
     return res;
 }
 

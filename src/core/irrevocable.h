@@ -45,6 +45,7 @@
 #include "core/params.h"
 #include "graph/graph.h"
 #include "sim/engine.h"
+#include "sim/oracle.h"
 #include "util/bit_codec.h"
 
 namespace anole {
@@ -157,6 +158,7 @@ struct irrevocable_result {
     phase_counters phase_walk;
     phase_counters phase_convergecast;
     std::vector<std::uint64_t> territory_sizes;  // per candidate (tree size)
+    oracle_report oracle;  // sim/oracle.h safety verdicts
 };
 
 // Runs the full protocol on `g` with fresh per-node randomness derived

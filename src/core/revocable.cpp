@@ -218,28 +218,58 @@ revocable_result run_revocable(const graph& g, const revocable_params& params,
     eng.spawn([&](std::size_t u) {
         return revocable_node(g.degree(static_cast<node_id>(u)), params);
     });
+    const auto probe = [&eng](std::size_t u) {
+        const auto& nd = eng.node(u);
+        node_status st;
+        st.decided = nd.id() != 0;
+        st.leader = nd.leader();
+        st.own_id = nd.id();
+        st.own_cert = nd.certificate();
+        st.view_id = nd.leader_id();
+        st.view_cert = nd.leader_certificate();
+        return st;
+    };
+    eng.set_status_probe(probe);
 
+    // All convergence predicates quantify over *live* nodes only: a
+    // crashed node's frozen view, or a departed node's slot, must not
+    // block the survivors from reaching agreement (re-election after an
+    // assassination is measured through exactly this).
     const std::size_t n = eng.num_nodes();
+    auto live = [&](std::size_t u) -> bool {
+        return eng.node_present(u) && !eng.node_crashed(u);
+    };
     auto views_consistent = [&]() -> bool {
-        const auto& first = eng.node(0);
-        if (first.id() == 0) return false;
-        const std::uint64_t vid = first.leader_id();
-        const std::uint64_t vk = first.leader_certificate();
-        if (vid == 0) return false;
-        for (std::size_t u = 1; u < n; ++u) {
+        bool any = false;
+        std::uint64_t vid = 0, vk = 0;
+        for (std::size_t u = 0; u < n; ++u) {
+            if (!live(u)) continue;
             const auto& nd = eng.node(u);
-            if (nd.id() == 0 || nd.leader_id() != vid || nd.leader_certificate() != vk) {
+            if (nd.id() == 0 || nd.leader_id() == 0) return false;
+            if (!any) {
+                any = true;
+                vid = nd.leader_id();
+                vk = nd.leader_certificate();
+            } else if (nd.leader_id() != vid || nd.leader_certificate() != vk) {
                 return false;
             }
         }
-        return true;
+        return any;
     };
     auto past_cap = [&]() -> bool {
         if (params.k_cap == 0) return false;
         for (std::size_t u = 0; u < n; ++u) {
-            if (eng.node(u).estimate() <= params.k_cap) return false;
+            if (live(u) && eng.node(u).estimate() <= params.k_cap) return false;
         }
         return true;
+    };
+    auto first_live_view = [&]() -> std::pair<std::uint64_t, std::uint64_t> {
+        for (std::size_t u = 0; u < n; ++u) {
+            if (live(u)) {
+                return {eng.node(u).leader_id(), eng.node(u).leader_certificate()};
+            }
+        }
+        return {0, 0};
     };
 
     revocable_result res;
@@ -252,8 +282,8 @@ revocable_result run_revocable(const graph& g, const revocable_params& params,
     }
 
     res.stable_round = eng.round();
-    const std::uint64_t view_id = reached ? eng.node(0).leader_id() : 0;
-    const std::uint64_t view_k = reached ? eng.node(0).leader_certificate() : 0;
+    const auto [view_id, view_k] =
+        reached ? first_live_view() : std::pair<std::uint64_t, std::uint64_t>{0, 0};
 
     if (reached) {
         // Revocability check: once every node has chosen an ID and all
@@ -272,20 +302,14 @@ revocable_result run_revocable(const graph& g, const revocable_params& params,
     res.totals = eng.metrics().total();
     res.congest_rounds = eng.metrics().total().congest_rounds;
 
-    std::uint64_t final_view_id = eng.node(0).leader_id();
-    std::uint64_t final_view_k = eng.node(0).leader_certificate();
+    const auto [final_view_id, final_view_k] = first_live_view();
     bool all_same = true;
+    std::size_t live_nodes = 0;
     for (std::size_t u = 0; u < n; ++u) {
         const auto& nd = eng.node(u);
-        if (nd.leader()) {
-            ++res.num_leaders;
-            res.leader_id = nd.id();
-            res.leader_certificate = nd.certificate();
-        }
-        if (nd.id() != 0) ++res.nodes_chose;
-        if (nd.leader_id() != final_view_id || nd.leader_certificate() != final_view_k) {
-            all_same = false;
-        }
+        // Cost/trace aggregates cover every incarnation that ran,
+        // including crashed nodes; correctness quantifiers below are
+        // live-only.
         res.total_revocations += nd.revocations();
         res.final_estimate = std::max(res.final_estimate, nd.estimate());
         for (const auto& [k, tr] : nd.traces()) {
@@ -295,10 +319,22 @@ revocable_result run_revocable(const graph& g, const revocable_params& params,
             agg.iterations += tr.iterations;
             agg.chose_here = agg.chose_here || tr.chose_here;
         }
+        if (!live(u)) continue;
+        ++live_nodes;
+        if (nd.leader()) {
+            ++res.num_leaders;
+            res.leader_id = nd.id();
+            res.leader_certificate = nd.certificate();
+        }
+        if (nd.id() != 0) ++res.nodes_chose;
+        if (nd.leader_id() != final_view_id || nd.leader_certificate() != final_view_k) {
+            all_same = false;
+        }
     }
     res.success = reached && all_same && res.num_leaders == 1 &&
-                  res.nodes_chose == n && final_view_id == view_id &&
-                  final_view_k == view_k;
+                  res.nodes_chose == live_nodes && live_nodes > 0 &&
+                  final_view_id == view_id && final_view_k == view_k;
+    res.oracle = run_oracle(eng, probe, {.check_views = reached});
     return res;
 }
 

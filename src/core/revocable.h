@@ -41,6 +41,7 @@
 #include "core/params.h"
 #include "graph/graph.h"
 #include "sim/engine.h"
+#include "sim/oracle.h"
 #include "util/bit_codec.h"
 #include "util/dyadic.h"
 
@@ -143,10 +144,11 @@ struct revocable_result {
     std::uint64_t rounds = 0;                  // engine rounds executed
     std::uint64_t congest_rounds = 0;          // bit-by-bit charged time
     std::uint64_t total_revocations = 0;       // leader-view changes after adoption
-    std::size_t nodes_chose = 0;               // nodes with an ID
+    std::size_t nodes_chose = 0;               // live nodes with an ID
     phase_counters totals;
     // Aggregated per-estimate traces (summed over nodes), for E10.
     std::map<std::uint64_t, revocable_node::estimate_trace> traces;
+    oracle_report oracle;  // sim/oracle.h safety verdicts
 };
 
 // Runs until every node chose an ID, all leader views agree, and the view

@@ -180,8 +180,10 @@ std::string campaign_record::to_json() const {
        << ",\"success\":" << (success ? "true" : "false")
        << ",\"leaders\":" << leaders << ",\"rounds\":" << rounds
        << ",\"messages\":" << messages << ",\"bits\":" << bits
-       << ",\"congest_rounds\":" << congest_rounds << ",\"error\":\""
-       << json_escape(error) << "\"}";
+       << ",\"congest_rounds\":" << congest_rounds
+       << ",\"oracle_ok\":" << (oracle_ok ? "true" : "false");
+    if (!oracle_ok) os << ",\"oracle\":\"" << json_escape(oracle_summary) << "\"";
+    os << ",\"error\":\"" << json_escape(error) << "\"}";
     return os.str();
 }
 
@@ -210,6 +212,9 @@ campaign_record campaign_record::from_json(const std::string& line) {
     rec.messages = v.at("messages").as_uint();
     rec.bits = v.at("bits").as_uint();
     rec.congest_rounds = v.at("congest_rounds").as_uint();
+    // Tolerated missing: ledgers written before the oracle layer existed.
+    if (v.contains("oracle_ok")) rec.oracle_ok = v.at("oracle_ok").as_bool();
+    if (v.contains("oracle")) rec.oracle_summary = v.at("oracle").as_string();
     rec.error = v.at("error").as_string();
     return rec;
 }
@@ -217,8 +222,8 @@ campaign_record campaign_record::from_json(const std::string& line) {
 // --- aggregation ------------------------------------------------------------
 
 text_table campaign_table(const std::vector<campaign_record>& records) {
-    text_table t({"family", "n", "variant", "runs", "ok", "elected", "phi", "tmix",
-                  "messages", "rounds"});
+    text_table t({"family", "n", "variant", "runs", "ok", "elected", "safe", "phi",
+                  "tmix", "messages", "rounds"});
     // Group by (family, n, variant) preserving first-appearance order.
     std::vector<std::string> order;
     std::map<std::string, std::vector<const campaign_record*>> groups;
@@ -233,12 +238,13 @@ text_table campaign_table(const std::vector<campaign_record>& records) {
     }
     for (const std::string& k : order) {
         const auto& g = groups[k];
-        std::size_t ok = 0, elected = 0;
+        std::size_t ok = 0, elected = 0, safe = 0;
         sample_stats msgs, rounds;
         for (const campaign_record* r : g) {
             if (!r->ok) continue;
             ++ok;
             if (r->leaders == 1) ++elected;
+            if (r->oracle_ok) ++safe;
             msgs.add(static_cast<double>(r->messages));
             rounds.add(static_cast<double>(r->rounds));
         }
@@ -254,6 +260,7 @@ text_table campaign_table(const std::vector<campaign_record>& records) {
                    std::to_string(g.size()),
                    std::to_string(ok) + "/" + std::to_string(g.size()),
                    std::to_string(elected) + "/" + std::to_string(ok),
+                   std::to_string(safe) + "/" + std::to_string(ok),
                    fmt_fixed(head.phi, 5), std::to_string(head.tmix),
                    msgs.empty()
                        ? "-"
@@ -285,6 +292,11 @@ campaign_record make_record(const campaign_unit& unit, const scenario_result& re
     rec.messages = run.totals().messages;
     rec.bits = run.totals().bits;
     rec.congest_rounds = run.totals().congest_rounds;
+    if (run.ok) {
+        const oracle_report orc = run.oracle();
+        rec.oracle_ok = orc.pass();
+        if (!orc.pass()) rec.oracle_summary = orc.summary();
+    }
     rec.error = run.error;
     return rec;
 }

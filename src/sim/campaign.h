@@ -126,6 +126,11 @@ struct campaign_record {
     std::uint64_t messages = 0;
     std::uint64_t bits = 0;
     std::uint64_t congest_rounds = 0;
+    // Safety-oracle verdict (sim/oracle.h). Records from before the oracle
+    // existed load as oracle_ok = true with an empty summary; the summary
+    // is only written (and only meaningful) when a check failed.
+    bool oracle_ok = true;
+    std::string oracle_summary;
     std::string error;
 
     [[nodiscard]] std::string to_json() const;  // one line, no trailing \n

@@ -54,15 +54,73 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "graph/graph.h"
+#include "sim/trace.h"
 #include "util/rng.h"
 
 namespace anole {
+
+// --- adaptive strategies -----------------------------------------------------
+
+// The oblivious models above draw events independently of protocol
+// state. An adaptive strategy instead observes a read-only per-round
+// snapshot of the engine (halted/present flags plus per-node
+// decided/leader status reported through the engine's status probe) and
+// emits *targeted* events — the paper's adversary is adaptive, and these
+// are the canonical attacks against each algorithm family:
+//
+//   * target_frontier_loss — kills messages whose sender is live but
+//     undecided: the active frontier of the computation (max-id waves,
+//     walk tokens, territory recruitment) is hit while settled traffic
+//     passes. `strategy_intensity` is the per-message kill probability.
+//   * leader_assassin — waits until a node raises its leader flag, gives
+//     it `strategy_grace` observed rounds, then crashes it; at most
+//     `strategy_max_kills` assassinations per run. The re-election bound
+//     of revocable variants is measured under exactly this adversary.
+//   * cut_churn — kills messages crossing a decision boundary: slots
+//     whose two endpoints disagree on `decided` (territory frontiers,
+//     tree cuts). `strategy_intensity` is the per-message kill
+//     probability.
+//
+// Strategies run in the same serial pre-round pass as everything else
+// and draw from the schedule seed, never from node RNG streams, so
+// `--node-jobs` bitwise identity survives adaptivity.
+enum class adaptive_kind : std::uint8_t {
+    none,
+    target_frontier_loss,
+    leader_assassin,
+    cut_churn,
+};
+
+[[nodiscard]] const char* to_string(adaptive_kind k) noexcept;
+[[nodiscard]] std::optional<adaptive_kind> adaptive_from_string(std::string_view s);
+
+// Per-node protocol status reported to the adaptive snapshot (and to the
+// recovery oracles of sim/oracle.h) through the engine's status probe.
+// Drivers install a probe translating their protocol's observers; the
+// view fields are only meaningful for revocable-style algorithms.
+struct node_status {
+    bool decided = false;  // reached a final local verdict
+    bool leader = false;   // currently holds the leader flag
+    std::uint64_t own_id = 0;         // chosen ID (0 = none)
+    std::uint64_t own_cert = 0;       // own certificate
+    std::uint64_t view_id = 0;        // leader view: ID
+    std::uint64_t view_cert = 0;      // leader view: certificate
+};
+
+// A membership change the engine must apply: respawn + mark present on
+// join, mark absent on leave (the dynamics layer already released the
+// slot range).
+struct membership_event {
+    node_id u = 0;
+    bool join = false;
+};
 
 // --- declaration ------------------------------------------------------------
 
@@ -91,18 +149,51 @@ struct dynamics_spec {
     double sleep_prob = 0;  // per live node per round
     std::uint64_t sleep_rounds = 4;
 
+    // Adaptive adversary (see adaptive_kind above). Intensity is the
+    // per-target kill probability for the message-killing strategies;
+    // grace / max_kills shape leader_assassin.
+    adaptive_kind strategy = adaptive_kind::none;
+    double strategy_intensity = 1.0;
+    std::uint64_t strategy_grace = 1;
+    std::uint64_t strategy_max_kills = 1;
+
+    // Membership churn: per round, each live present node leaves with
+    // `leave_prob` (its out-slot range is released — in-flight messages
+    // from it die with it) and each absent node rejoins with `join_prob`
+    // (re-attaching on its generator-sampled footprint edges with a
+    // fresh protocol instance).
+    double leave_prob = 0;
+    double join_prob = 0;
+
+    // Trace record / replay (sim/trace.h, docs/DYNAMICS.md). When
+    // `trace_replay` names a trace file, the schedule is read from it —
+    // the file's recorded spec and seed override every sampling knob
+    // above — and applied byte-for-byte. When `trace_record` names a
+    // path, the realized schedule (sampled or replayed) is streamed
+    // there as it happens.
+    std::string trace_record;
+    std::string trace_replay;
+
     // Schedule seed; 0 = derived from the run seed, so repetitions see
     // independent schedules while staying reproducible.
     std::uint64_t seed = 0;
 
     [[nodiscard]] bool enabled() const noexcept {
         return rewire_prob > 0 || rewire_period > 0 || edge_down_prob > 0 ||
-               loss_prob > 0 || crash_prob > 0 || sleep_prob > 0;
+               loss_prob > 0 || crash_prob > 0 || sleep_prob > 0 ||
+               strategy != adaptive_kind::none || leave_prob > 0 || join_prob > 0 ||
+               !trace_record.empty() || !trace_replay.empty();
     }
     // "rewire(p=0.1)+churn(0.2/T=8)+loss(0.05)" — table/JSON label.
     [[nodiscard]] std::string summary() const;
 
     void validate() const;
+
+    // Flat knob object, the exact inverse of dynamics_from_json — the
+    // campaign spec/ledger round-trip and the trace header both use it.
+    [[nodiscard]] std::string to_json() const;
+
+    friend bool operator==(const dynamics_spec&, const dynamics_spec&) = default;
 };
 
 // Named presets for CLI axes (bench_dynamics, bench_campaign --dynamics):
@@ -123,6 +214,12 @@ struct dynamics_stats {
     std::uint64_t crashes = 0;
     std::uint64_t crash_trials = 0;     // live-node crash draws
     std::uint64_t sleep_events = 0;
+    std::uint64_t leaves = 0;           // membership departures
+    std::uint64_t joins = 0;            // membership (re)attachments
+    std::uint64_t released_messages = 0;  // in-flight messages a leaver took down
+    std::uint64_t targeted_losses = 0;  // killed by target_frontier_loss
+    std::uint64_t cut_losses = 0;       // killed by cut_churn
+    std::uint64_t assassinations = 0;   // leaders crashed by leader_assassin
     // Order-fixed hash over every event the adversary emitted (rewired
     // node ids, down edge ids, killed slots, crashes, sleeps): two runs
     // with equal digests realized byte-identical schedules.
@@ -195,26 +292,56 @@ public:
         return derive_seed(seed_, round, 0x5EBA11);
     }
 
+    // True when an adaptive strategy needs per-node decided/leader status
+    // this run (replayed schedules never re-observe — the recorded
+    // events already encode what the adversary saw).
+    [[nodiscard]] bool wants_status() const noexcept {
+        return !replaying() && spec_.strategy != adaptive_kind::none;
+    }
+    [[nodiscard]] bool replaying() const noexcept { return replay_ != nullptr; }
+    [[nodiscard]] bool membership_enabled() const noexcept {
+        return spec_.leave_prob > 0 || spec_.join_prob > 0 || replaying();
+    }
+
     // (1) Port re-wiring: updates `peer_slot` in place for the nodes the
-    // adversary relabels in `round` (skipping halted nodes) and returns
-    // the payload moves the engine must mirror onto its in-flight
-    // message/stamp arrays. The returned reference is valid until the
-    // next call.
+    // adversary relabels in `round` (skipping halted and absent nodes)
+    // and returns the payload moves the engine must mirror onto its
+    // in-flight message/stamp arrays. The returned reference is valid
+    // until the next call.
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& plan_rewire(
         std::uint64_t round, std::vector<std::uint32_t>& peer_slot,
-        const std::vector<char>& halted);
+        const std::vector<char>& halted, const std::vector<char>& present);
 
-    // (2)+(3) Edge churn and message loss: redraws the churn window if it
+    // (2) Membership churn: draws leave/join for this round, releases the
+    // out-slot range of every leaver (in-flight messages from it die),
+    // and returns the events the engine must apply to its live-node set
+    // and protocol instances. The returned reference is valid until the
+    // next call.
+    const std::vector<membership_event>& plan_membership(
+        std::uint64_t round, std::uint32_t mark, const std::vector<char>& halted,
+        const std::vector<char>& present, std::vector<std::uint32_t>& cur_stamp);
+
+    // (3) Adaptive strategy: observes the per-node flags (decided/leader
+    // refreshed from the engine's status probe; empty vectors = no probe
+    // installed, flags read as false), kills targeted messages in place,
+    // and returns the nodes the strategy crashes this round.
+    const std::vector<node_id>& plan_adaptive(
+        std::uint64_t round, std::uint32_t mark, std::vector<std::uint32_t>& cur_stamp,
+        const std::vector<char>& halted, const std::vector<char>& present,
+        const std::vector<char>& decided, const std::vector<char>& leader);
+
+    // (4)+(5) Edge churn and message loss: redraws the churn window if it
     // expired, then kills (stamp := 0) every live slot whose edge is down
     // or that loses its i.i.d. draw. `mark` is the round's delivery stamp.
     void apply_message_faults(std::uint64_t round, std::uint32_t mark,
                               std::vector<std::uint32_t>& cur_stamp);
 
-    // (4) Node faults: draws crash/sleep for every live node. Newly
+    // (6) Node faults: draws crash/sleep for every live node. Newly
     // crashed nodes are returned for the engine to fold into its halted
     // set; sleep clocks are updated internally.
     const std::vector<node_id>& plan_node_faults(std::uint64_t round,
-                                                 const std::vector<char>& halted);
+                                                 const std::vector<char>& halted,
+                                                 const std::vector<char>& present);
 
     // Read-only, called from sharded rounds: is u asleep in `round`?
     [[nodiscard]] bool asleep(node_id u, std::uint64_t round) const noexcept {
@@ -228,6 +355,21 @@ private:
         stats_.schedule_digest =
             splitmix64_next(stats_.schedule_digest += event * 0x9e3779b97f4a7c15ULL);
     }
+    // Every realized event funnels through here: digest note (one fixed
+    // offset per kind, so record and replay hash identically) plus the
+    // optional trace stream.
+    void emit(std::uint64_t round, trace_kind kind, std::uint64_t a,
+              std::uint64_t b = 0);
+    // Replay cursor: true (and consumes) iff the next recorded event is
+    // (round, kind); throws on stale events from earlier rounds.
+    [[nodiscard]] bool replay_take(std::uint64_t round, trace_kind kind,
+                                   trace_event& out);
+    [[nodiscard]] const trace_event* replay_peek() const noexcept {
+        return replay_ && cursor_ < replay_->events.size() ? &replay_->events[cursor_]
+                                                          : nullptr;
+    }
+    void release_slot_range(node_id u, std::uint32_t mark,
+                            std::vector<std::uint32_t>& cur_stamp);
 
     const graph& g_;
     dynamics_spec spec_;
@@ -244,10 +386,23 @@ private:
 
     std::vector<std::uint64_t> sleep_until_;
 
+    // Adaptive-strategy state: round+1 when u was first observed holding
+    // the leader flag (0 = not currently observed), and the assassin's
+    // spent kill budget.
+    std::vector<std::uint64_t> leader_seen_;
+    std::uint64_t kills_ = 0;
+
+    // Trace record / replay.
+    std::unique_ptr<trace_writer> writer_;
+    std::unique_ptr<trace_log> replay_;
+    std::size_t cursor_ = 0;
+
     // Reused per-round scratch.
     std::vector<node_id> rewired_;
     std::vector<std::pair<std::uint32_t, std::uint32_t>> moves_;
     std::vector<node_id> crashed_;
+    std::vector<membership_event> membership_;
+    std::vector<node_id> adaptive_crashed_;
 
     dynamics_stats stats_;
 };

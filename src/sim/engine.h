@@ -77,8 +77,10 @@
 #include <concepts>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -348,6 +350,9 @@ public:
         rngs_.reserve(n);
         for (node_id u = 0; u < n; ++u) rngs_.emplace_back(derive_seed(seed, u, 0xA0CE));
         halted_.assign(n, 0);
+        present_.assign(n, 1);
+        crashed_.assign(n, 0);
+        present_count_ = n;
     }
 
     engine(const engine&) = delete;
@@ -379,13 +384,24 @@ public:
     // Constructs the per-node protocol instances: factory(node_index) -> P.
     // The index is for construction-time parameters only; conforming
     // protocols never branch on identity (see the permuted-port tests).
+    // The factory is retained: membership churn respawns a fresh instance
+    // when a departed node rejoins.
     template <class Factory>
     void spawn(Factory&& factory) {
         require(procs_.empty(), "engine::spawn: already spawned");
+        factory_ = std::function<P(std::size_t)>(std::forward<Factory>(factory));
         procs_.reserve(g_.num_nodes());
         for (node_id u = 0; u < g_.num_nodes(); ++u) {
-            procs_.push_back(factory(static_cast<std::size_t>(u)));
+            procs_.push_back(factory_(static_cast<std::size_t>(u)));
         }
+    }
+
+    // Installs the per-node protocol-status probe the adaptive adversary
+    // (and the recovery oracles) observe. Drivers translate their own
+    // observers into node_status; the probe is only consulted in the
+    // serial pre-round pass, never from sharded rounds.
+    void set_status_probe(std::function<node_status(std::size_t)> probe) {
+        probe_ = std::move(probe);
     }
 
     // --- running ---
@@ -394,10 +410,13 @@ public:
         for (std::uint64_t i = 0; i < k; ++i) step();
     }
 
-    // Runs until every node halted; returns rounds executed. Throws if
-    // max_rounds is exceeded.
+    // Runs until every present node halted; returns rounds executed.
+    // Throws if max_rounds is exceeded, or with a `no_live_nodes` verdict
+    // if the whole membership departed.
     std::uint64_t run_until_halted(std::uint64_t max_rounds) {
-        return run_until([this] { return halted_count_ == g_.num_nodes(); }, max_rounds);
+        return run_until(
+            [this] { return present_count_ > 0 && halted_count_ == present_count_; },
+            max_rounds);
     }
 
     // Runs until pred() (checked before each round); returns rounds run.
@@ -406,14 +425,16 @@ public:
         std::uint64_t done = 0;
         while (!pred()) {
             require(done < max_rounds, "engine::run_until: exceeded max_rounds");
-            // Once every node halted (protocol halts plus crashes),
-            // protocol state is frozen: further rounds can never satisfy
-            // the predicate. Fail now instead of spinning to max_rounds —
-            // under crash faults this is what turns a dead network into a
-            // bounded verdict instead of a multi-million-round spin.
-            require(halted_count_ < g_.num_nodes(),
-                    "engine::run_until: all nodes halted without satisfying the "
-                    "predicate");
+            // Once no live node remains (every present node halted —
+            // protocol halts plus crashes — or everyone left), protocol
+            // state is frozen: further rounds can never satisfy the
+            // predicate. Fail now instead of spinning to max_rounds —
+            // under crash/leave faults this is what turns a dead network
+            // into a bounded verdict instead of a multi-million-round
+            // spin.
+            require(live_count() > 0,
+                    "engine::run_until: no_live_nodes — every node halted, crashed "
+                    "or left without satisfying the predicate");
             step();
             ++done;
         }
@@ -438,11 +459,15 @@ public:
         } catch (...) {
             // Mid-round failure (e.g. a strict-budget violation): nodes
             // that halted earlier this round already have their flag set
-            // but their deferred count update never ran. Recount so
-            // halted_count_ stays consistent for callers that inspect
-            // the engine after catching the error.
-            halted_count_ = static_cast<std::size_t>(
-                std::count(halted_.begin(), halted_.end(), char(1)));
+            // but their deferred count update never ran. Recount (among
+            // present nodes — halted_count_'s domain) so it stays
+            // consistent for callers that inspect the engine after
+            // catching the error.
+            std::size_t halted = 0;
+            for (node_id u = 0; u < g_.num_nodes(); ++u) {
+                if (present_[u] && halted_[u]) ++halted;
+            }
+            halted_count_ = halted;
             throw;
         }
 
@@ -455,13 +480,17 @@ public:
     }
 
 private:
-    // The serial pre-round adversary pass (see sim/dynamics.h): re-wires
-    // ports (relocating in-flight payloads alongside their slots, so the
-    // peer_slot_ involution and physical delivery stay exact), kills
-    // messages on down/lossy edges, and folds crashes into the halted
-    // set. Runs before shards fork; nothing here touches node RNG streams.
+    // The serial pre-round adversary pass (see sim/dynamics.h), in the
+    // fixed phase order trace record/replay relies on: re-wires ports
+    // (relocating in-flight payloads alongside their slots, so the
+    // peer_slot_ involution and physical delivery stay exact), applies
+    // membership churn, runs the adaptive strategy against a fresh status
+    // snapshot, kills messages on down/lossy edges, and folds crashes
+    // into the halted set. Runs before shards fork; nothing here touches
+    // node RNG streams.
     void apply_dynamics() {
-        const auto& moves = dyn_->plan_rewire(round_, peer_slot_, halted_);
+        const auto mark = static_cast<std::uint32_t>(round_ + 1);
+        const auto& moves = dyn_->plan_rewire(round_, peer_slot_, halted_, present_);
         if (!moves.empty()) {
             // Gather payloads at old slots, then scatter to new ones —
             // cycles in the slot permutation make in-place moves unsafe.
@@ -476,11 +505,60 @@ private:
                 cur_stamp_[moves[i].second] = move_stamp_[i];
             }
         }
-        dyn_->apply_message_faults(round_, static_cast<std::uint32_t>(round_ + 1),
-                                   cur_stamp_);
-        for (const node_id u : dyn_->plan_node_faults(round_, halted_)) {
-            halted_[u] = 1;  // crash: permanently silent, counts as halted
+        for (const membership_event& ev :
+             dyn_->plan_membership(round_, mark, halted_, present_, cur_stamp_)) {
+            if (ev.join) {
+                // The node reattaches on its footprint edges with a fresh
+                // protocol instance; its halted contribution was already
+                // removed at departure, so only the flags reset here.
+                present_[ev.u] = 1;
+                ++present_count_;
+                halted_[ev.u] = 0;
+                crashed_[ev.u] = 0;
+                respawn(ev.u);
+            } else {
+                present_[ev.u] = 0;
+                --present_count_;
+                if (halted_[ev.u]) --halted_count_;
+            }
+        }
+        if (dyn_->wants_status()) {
+            const std::size_t n = g_.num_nodes();
+            decided_flags_.assign(n, 0);
+            leader_flags_.assign(n, 0);
+            if (probe_) {
+                for (node_id u = 0; u < n; ++u) {
+                    if (!present_[u]) continue;
+                    const node_status st = probe_(static_cast<std::size_t>(u));
+                    decided_flags_[u] = st.decided ? 1 : 0;
+                    leader_flags_[u] = st.leader ? 1 : 0;
+                }
+            }
+        }
+        for (const node_id u : dyn_->plan_adaptive(round_, mark, cur_stamp_, halted_,
+                                                   present_, decided_flags_,
+                                                   leader_flags_)) {
+            halted_[u] = 1;  // assassination: a crash, permanently silent
+            crashed_[u] = 1;
             ++halted_count_;
+        }
+        dyn_->apply_message_faults(round_, mark, cur_stamp_);
+        for (const node_id u : dyn_->plan_node_faults(round_, halted_, present_)) {
+            halted_[u] = 1;  // crash: permanently silent, counts as halted
+            crashed_[u] = 1;
+            ++halted_count_;
+        }
+    }
+
+    // Replaces u's protocol instance with a freshly constructed one (its
+    // RNG stream continues — streams are per node index, not per
+    // incarnation, so determinism is unaffected).
+    void respawn(node_id u) {
+        if constexpr (std::is_move_assignable_v<P>) {
+            procs_[u] = factory_(static_cast<std::size_t>(u));
+        } else {
+            std::destroy_at(&procs_[u]);
+            std::construct_at(&procs_[u], factory_(static_cast<std::size_t>(u)));
         }
     }
 
@@ -535,7 +613,25 @@ public:
     [[nodiscard]] sim_metrics& metrics() noexcept { return metrics_; }
     [[nodiscard]] const sim_metrics& metrics() const noexcept { return metrics_; }
     [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+    // Halted among *present* nodes (protocol halts plus crashes).
     [[nodiscard]] std::size_t halted_count() const noexcept { return halted_count_; }
+    // Membership view: present = currently part of the network; live =
+    // present and not halted; crashed = silenced by a fault (still
+    // present — a crashed node occupies its place, a departed one does
+    // not).
+    [[nodiscard]] std::size_t present_count() const noexcept { return present_count_; }
+    [[nodiscard]] std::size_t live_count() const noexcept {
+        return present_count_ - halted_count_;
+    }
+    [[nodiscard]] bool node_present(std::size_t u) const noexcept {
+        return present_[u] != 0;
+    }
+    [[nodiscard]] bool node_crashed(std::size_t u) const noexcept {
+        return crashed_[u] != 0;
+    }
+    [[nodiscard]] bool node_halted(std::size_t u) const noexcept {
+        return halted_[u] != 0;
+    }
     [[nodiscard]] std::uint64_t budget_bits() const noexcept { return budget_bits_; }
 
     void set_phase(const std::string& name) { metrics_.begin_phase(name); }
@@ -549,7 +645,7 @@ private:
         const auto mark = static_cast<std::uint32_t>(round_ + 1);
         const auto stamp = static_cast<std::uint32_t>(round_ + 2);
         for (node_id u = lo; u < hi; ++u) {
-            if (halted_[u]) continue;
+            if (halted_[u] || !present_[u]) continue;
             // Sleeping nodes skip the round entirely; messages delivered
             // to them this round expire unread (stamps only grow).
             // asleep() is read-only, so the shard stays race-free.
@@ -600,13 +696,21 @@ private:
     std::vector<std::uint32_t> cur_stamp_, nxt_stamp_;
     std::vector<xoshiro256ss> rngs_;
     std::vector<P> procs_;
+    std::function<P(std::size_t)> factory_;  // retained for membership respawns
     std::vector<char> halted_;
+    std::vector<char> present_;  // 0 = departed (left the network)
+    std::vector<char> crashed_;  // 1 = silenced by a crash fault
+    // Status snapshot for the adaptive adversary, refreshed serially
+    // pre-round when a strategy wants it (empty otherwise).
+    std::function<node_status(std::size_t)> probe_;
+    std::vector<char> decided_flags_, leader_flags_;
     std::vector<round_acc> accs_;  // reused shard accumulators
     std::unique_ptr<dynamics_state> dyn_;  // nullptr = static network
     // Reused gather buffers for relocating in-flight payloads on rewire.
     std::vector<message_type> move_msg_;
     std::vector<std::uint32_t> move_stamp_;
     std::size_t halted_count_ = 0;
+    std::size_t present_count_ = 0;
     std::uint64_t round_ = 0;
     sim_metrics metrics_;
 };

@@ -1,0 +1,222 @@
+// anole — fault-recovery oracles.
+//
+// A machine-checked safety layer over any finished (or abandoned) run:
+// instead of eyeballing bench tables to convince ourselves the
+// algorithms degrade gracefully under the adversary, every driver hands
+// its engine plus a per-node status probe to run_oracle() and gets a
+// structured verdict back. The checks encode exactly what must hold at
+// termination under *every* fault mix the dynamics layer can produce:
+//
+//   leader_undecided   — no live node may fly the leader flag without
+//                        having reached a final local verdict.
+//   multi_leader       — no two live leaders claiming *conflicting*
+//                        identities — distinct (id, certificate) pairs —
+//                        whenever the adversary destroyed or delayed
+//                        nothing (no loss, churn, targeted kills,
+//                        crashes, sleeps or membership churn). Two checks
+//                        scope this to where it is an invariant rather
+//                        than a coin flip: under destructive faults a
+//                        transient second leader is legitimate protocol
+//                        state (revocable re-election in progress), and
+//                        an anonymous algorithm can legitimately crown
+//                        two nodes that drew the *same* random ID — they
+//                        agree on the elected identity, which is the
+//                        anonymous-model notion of non-conflict.
+//   leader_view        — on a clean schedule, when exactly one live
+//                        leader exists and the driver exposes views
+//                        (revocable variants), every live node holding a
+//                        view must agree with that leader's own
+//                        (id, certificate).
+//   fault_accounting   — destroyed messages never exceed inspected
+//                        deliveries, and deliveries never exceed the
+//                        metrics' charged message count: senders paid for
+//                        every message the adversary killed (the budget
+//                        lines stay honest under fire).
+//   round_cap          — the run terminated within the caller's measured
+//                        bound (e.g. re-election within the window the
+//                        revocable driver allots after an assassination).
+//
+// The oracle only reads engine observation APIs and the probe — it never
+// mutates the run — so it is safe to evaluate on an engine in any state,
+// including one abandoned mid-run by a thrown verdict.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/dynamics.h"
+
+namespace anole {
+
+struct oracle_options {
+    // Enable the leader_view check (drivers whose node_status carries
+    // meaningful view fields — the revocable family).
+    bool check_views = false;
+    // 0 = no bound; otherwise the run must have terminated by this round.
+    std::uint64_t round_cap = 0;
+};
+
+struct oracle_violation {
+    std::string check;   // which oracle fired ("multi_leader", ...)
+    std::string detail;  // human-readable evidence
+};
+
+struct oracle_report {
+    bool evaluated = false;  // false = oracle never ran (default object)
+    std::size_t present_nodes = 0;
+    std::size_t live_nodes = 0;       // present and not halted/crashed
+    std::size_t live_leaders = 0;     // leader flag among live nodes
+    std::size_t crashed_nodes = 0;    // silenced by crash faults
+    std::size_t crashed_leaders = 0;  // leaders among the crashed
+    std::vector<oracle_violation> violations;
+
+    [[nodiscard]] bool pass() const noexcept { return violations.empty(); }
+
+    // "ok (live=14, leaders=1)" or "VIOLATION multi_leader: ..." — the
+    // campaign ledger and the runner's failure paths both print this.
+    [[nodiscard]] std::string summary() const {
+        if (!evaluated) return "not evaluated";
+        if (pass()) {
+            return "ok (live=" + std::to_string(live_nodes) +
+                   ", leaders=" + std::to_string(live_leaders) + ")";
+        }
+        std::string out;
+        for (const oracle_violation& v : violations) {
+            if (!out.empty()) out += "; ";
+            out += "VIOLATION " + v.check + ": " + v.detail;
+        }
+        return out;
+    }
+};
+
+// Evaluates every applicable invariant against the engine's final state.
+// `probe(u)` must return the node_status of node u (same contract as
+// engine::set_status_probe); it is only called for present nodes.
+template <class Eng, class Probe>
+[[nodiscard]] oracle_report run_oracle(const Eng& eng, Probe&& probe,
+                                       const oracle_options& opt = {}) {
+    oracle_report rep;
+    rep.evaluated = true;
+    const std::size_t n = eng.num_nodes();
+    rep.present_nodes = eng.present_count();
+    rep.live_nodes = eng.live_count();
+
+    // One pass gathers the census and the per-check evidence.
+    std::size_t undecided_leaders = 0;
+    node_id first_undecided_leader = 0;
+    node_id leader_node = 0;  // a live leader, if any
+    std::uint64_t leader_id = 0, leader_cert = 0;
+    bool conflicting_leaders = false;
+    std::size_t view_mismatches = 0;
+    node_id first_mismatch = 0;
+    static thread_local std::vector<node_status> live_status;
+    live_status.clear();
+    static thread_local std::vector<node_id> live_ids;
+    live_ids.clear();
+    for (node_id u = 0; u < n; ++u) {
+        if (!eng.node_present(u)) continue;
+        const node_status st = probe(static_cast<std::size_t>(u));
+        if (eng.node_crashed(u)) {
+            ++rep.crashed_nodes;
+            if (st.leader) ++rep.crashed_leaders;
+            continue;
+        }
+        live_status.push_back(st);
+        live_ids.push_back(u);
+        if (st.leader) {
+            if (rep.live_leaders == 0) {
+                leader_node = u;
+                leader_id = st.own_id;
+                leader_cert = st.own_cert;
+            } else if (st.own_id != leader_id || st.own_cert != leader_cert) {
+                conflicting_leaders = true;
+            }
+            ++rep.live_leaders;
+            if (!st.decided) {
+                if (undecided_leaders == 0) first_undecided_leader = u;
+                ++undecided_leaders;
+            }
+        }
+    }
+
+    if (undecided_leaders > 0) {
+        rep.violations.push_back(
+            {"leader_undecided",
+             "node " + std::to_string(first_undecided_leader) +
+                 " flies the leader flag without a final verdict (" +
+                 std::to_string(undecided_leaders) + " such nodes)"});
+    }
+
+    // Conflicting leaders are a safety bug only when the adversary
+    // neither destroyed nor delayed anything; under fire a transient
+    // duplicate is re-election in progress.
+    bool clean = true;
+    if (const dynamics_state* dyn = eng.dynamics()) {
+        const dynamics_stats& st = dyn->stats();
+        clean = st.lost_messages == 0 && st.churned_messages == 0 &&
+                st.targeted_losses == 0 && st.cut_losses == 0 &&
+                st.released_messages == 0 && st.leaves == 0 && st.crashes == 0 &&
+                st.assassinations == 0 && st.sleep_events == 0;
+    }
+    if (clean && conflicting_leaders) {
+        rep.violations.push_back(
+            {"multi_leader", std::to_string(rep.live_leaders) +
+                                 " live leaders claim conflicting identities with "
+                                 "no destructive or delaying fault in the schedule"});
+    }
+
+    if (clean && opt.check_views && rep.live_leaders == 1) {
+        std::uint64_t mismatch_view = 0;
+        for (std::size_t i = 0; i < live_status.size(); ++i) {
+            const node_status& st = live_status[i];
+            if (st.view_id == 0) continue;  // no view held
+            if (st.view_id != leader_id || st.view_cert != leader_cert) {
+                if (view_mismatches == 0) {
+                    first_mismatch = live_ids[i];
+                    mismatch_view = st.view_id;
+                }
+                ++view_mismatches;
+            }
+        }
+        if (view_mismatches > 0) {
+            rep.violations.push_back(
+                {"leader_view",
+                 "node " + std::to_string(first_mismatch) + " holds a view of id " +
+                     std::to_string(mismatch_view) +
+                     " disagreeing with live leader " + std::to_string(leader_node) +
+                     " (" + std::to_string(view_mismatches) + " mismatching nodes)"});
+        }
+    }
+
+    if (const dynamics_state* dyn = eng.dynamics()) {
+        const dynamics_stats& st = dyn->stats();
+        const std::uint64_t destroyed = st.lost_messages + st.churned_messages +
+                                        st.targeted_losses + st.cut_losses;
+        const std::uint64_t charged = eng.metrics().total().messages;
+        if (destroyed > st.deliveries + st.targeted_losses + st.cut_losses) {
+            rep.violations.push_back(
+                {"fault_accounting",
+                 std::to_string(destroyed) + " destroyed messages exceed " +
+                     std::to_string(st.deliveries) + " inspected deliveries"});
+        }
+        if (st.deliveries > charged) {
+            rep.violations.push_back(
+                {"fault_accounting",
+                 std::to_string(st.deliveries) + " deliveries exceed the " +
+                     std::to_string(charged) +
+                     " messages charged to the budget lines — a destroyed message "
+                     "was not paid for"});
+        }
+    }
+
+    if (opt.round_cap > 0 && eng.round() > opt.round_cap) {
+        rep.violations.push_back(
+            {"round_cap", "terminated at round " + std::to_string(eng.round()) +
+                              " past the measured bound of " +
+                              std::to_string(opt.round_cap)});
+    }
+    return rep;
+}
+
+}  // namespace anole

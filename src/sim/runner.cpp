@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "sim/engine.h"
+#include "sim/oracle.h"
 
 namespace anole {
 
@@ -58,17 +59,25 @@ cb_result run_cautious(const graph& g, const graph_profile& prof,
         return cautious_broadcast_node(g.degree(static_cast<node_id>(u)), u == 0,
                                        c.source_id, cfg, rounds);
     });
+    const auto probe = [&eng](std::size_t u) {
+        node_status st;
+        st.decided = eng.node(u).exec().in_tree();
+        return st;  // broadcast elects nobody: leader stays false
+    };
+    eng.set_status_probe(probe);
     eng.run_until_halted(rounds + 2);
 
     cb_result out;
     out.rounds = eng.round();
     out.totals = eng.metrics().total();
     for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+        if (!eng.node_present(u) || eng.node_crashed(u)) continue;
         if (eng.node(u).exec().in_tree()) ++out.territory;
     }
     // The source is always in its own tree; success means it recruited
     // someone (trivially true on a 1-node graph).
     out.success = out.territory >= 2 || g.num_nodes() == 1;
+    out.oracle = run_oracle(eng, probe, {.round_cap = rounds + 2});
     return out;
 }
 

@@ -53,6 +53,16 @@ phase_counters run_record::totals() const noexcept {
     return visit_detail(detail, [](const auto& r) { return r.totals; });
 }
 
+oracle_report run_record::oracle() const noexcept {
+    if (!ok) return {};
+    return visit_detail(detail, [](const auto& r) { return r.oracle; });
+}
+
+std::string run_record::verdict() const {
+    if (!ok) return "error: " + error;
+    return oracle().summary();
+}
+
 std::size_t scenario_result::successes() const noexcept {
     std::size_t n = 0;
     for (const auto& r : runs) n += r.success() ? 1 : 0;

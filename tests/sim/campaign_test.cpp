@@ -278,5 +278,100 @@ TEST(Campaign, DefaultConfigsCoverEveryVariant) {
     EXPECT_GT(sparse.max_rounds, dense.max_rounds);
 }
 
+// --- ISSUE 8: oracle columns + adaptive dynamics through the ledger -----------
+
+TEST(Campaign, OracleColumnsRoundTripThroughJsonl) {
+    campaign_record rec;
+    rec.unit = {graph_family::cycle, 16, 1, algo_kind::flood_max, 7,
+                "assassin", *dynamics_preset("assassin")};
+    rec.ok = true;
+    rec.success = true;
+    rec.oracle_ok = false;
+    rec.oracle_summary = "VIOLATION multi_leader: 2 leaders with \"distinct\" ids";
+
+    const std::string line = rec.to_json();
+    EXPECT_NE(line.find("\"oracle_ok\":false"), std::string::npos);
+    const campaign_record back = campaign_record::from_json(line);
+    EXPECT_EQ(back.unit.key(), rec.unit.key());
+    EXPECT_FALSE(back.oracle_ok);
+    EXPECT_EQ(back.oracle_summary, rec.oracle_summary);
+
+    // Healthy records write the flag but omit the summary payload.
+    rec.oracle_ok = true;
+    rec.oracle_summary.clear();
+    const std::string ok_line = rec.to_json();
+    EXPECT_NE(ok_line.find("\"oracle_ok\":true"), std::string::npos);
+    EXPECT_EQ(ok_line.find("\"oracle\":\""), std::string::npos);
+    EXPECT_TRUE(campaign_record::from_json(ok_line).oracle_ok);
+}
+
+TEST(Campaign, PreOracleLedgerLinesStillResume) {
+    // Ledgers written before the oracle layer carry no oracle_ok key;
+    // they must load (oracle_ok defaults true) and satisfy a resume.
+    const std::string path = temp_path("pre_oracle");
+    std::remove(path.c_str());
+
+    scenario_runner first(2);
+    ASSERT_EQ(run_campaign(tiny_spec(path), first).executed, 12u);
+
+    // Rewrite the ledger with the oracle fields stripped, old-schema style.
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line)) lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 12u);
+    {
+        std::ofstream out(path, std::ios::trunc);
+        for (auto& l : lines) {
+            const auto pos = l.find(",\"oracle_ok\":");
+            ASSERT_NE(pos, std::string::npos);
+            const auto end = l.find(',', pos + 1);
+            ASSERT_NE(end, std::string::npos);
+            out << l.substr(0, pos) + l.substr(end) << "\n";
+        }
+    }
+
+    scenario_runner second(2);
+    const campaign_report resumed = run_campaign(tiny_spec(path), second);
+    EXPECT_EQ(resumed.executed, 0u);
+    EXPECT_EQ(resumed.skipped, 12u);
+    for (const auto& rec : resumed.records) {
+        EXPECT_TRUE(rec.oracle_ok) << rec.unit.key();
+        EXPECT_TRUE(rec.oracle_summary.empty());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Campaign, AdaptiveDynamicsAxisResumesFromLedger) {
+    // A campaign swept over adaptive presets keys each record with the
+    // dynamics name; a re-invocation with the same spec re-runs nothing.
+    campaign_spec spec;
+    spec.families = {graph_family::wheel};
+    spec.sizes = {16};
+    spec.variants = {algo_kind::flood_max};
+    spec.seeds = 2;
+    spec.base_seed = 10;
+    spec.dynamics = {{"static", dynamics_spec{}},
+                     {"assassin", *dynamics_preset("assassin")},
+                     {"frontier", *dynamics_preset("frontier")}};
+    const std::string path = temp_path("adaptive_axis");
+    std::remove(path.c_str());
+    spec.output = path;
+
+    scenario_runner first(2);
+    const campaign_report run1 = run_campaign(spec, first);
+    EXPECT_EQ(run1.executed, 6u);
+    // Keys carry the dynamics suffix, so axes never alias each other.
+    EXPECT_EQ(run1.records[2].unit.key(), "wheel/16/t1/flood_max/10/assassin");
+
+    scenario_runner second(2);
+    const campaign_report run2 = run_campaign(spec, second);
+    EXPECT_EQ(run2.executed, 0u);
+    EXPECT_EQ(run2.skipped, 6u);
+    std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace anole
