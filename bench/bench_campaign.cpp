@@ -16,6 +16,9 @@
 //                      flags override the file's values
 //   --out FILE         JSONL record stream (default campaign.jsonl);
 //                      --no-out disables persistence (and thus resume)
+//   --profile-cache F  persistent profile cache (docs/PROFILES.md): a
+//                      repeat campaign against a warm cache reports
+//                      "profiles: 0 fresh" and skips all measurement
 //   --base-seed N      first run seed (default 1)
 //   --topology-seed N  instance seed for generated families (default 1)
 //   --dry-run          print the expansion size and exit
@@ -37,7 +40,8 @@ namespace {
         "usage: bench_campaign [--spec FILE.json]\n"
         "    [--families f1,f2,...] [--sizes n1,n2,...]\n"
         "    [--variants v1,v2,...] [--seeds N] [--dynamics d1,d2,...]\n"
-        "    [--out FILE | --no-out] [--base-seed N] [--topology-seed N]\n"
+        "    [--out FILE | --no-out] [--profile-cache FILE]\n"
+        "    [--base-seed N] [--topology-seed N]\n"
         "    [--jobs N] [--csv] [--json] [--dry-run]\n"
         "families: any graph_family name or alias (ws, ba, rgg, caveman,\n"
         "er, grid, tree); variants: flood_max|flood, gilbert, irrevocable,\n"
@@ -95,7 +99,7 @@ int main(int argc, char** argv) {
     bool emit_csv = false, emit_json = false, dry_run = false, no_out = false;
     bool seeds_set = false, base_seed_set = false, topology_seed_set = false;
     std::size_t jobs = 0;
-    std::string out_flag;
+    std::string out_flag, profile_cache_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -173,6 +177,8 @@ int main(int argc, char** argv) {
             out_flag = need_value(argc, argv, i);
         } else if (a == "--no-out") {
             no_out = true;
+        } else if (a == "--profile-cache") {
+            profile_cache_path = need_value(argc, argv, i);
         } else if (a == "--base-seed") {
             spec.base_seed = parse_u64(need_value(argc, argv, i), "--base-seed");
             base_seed_set = true;
@@ -226,6 +232,7 @@ int main(int argc, char** argv) {
     }
 
     scenario_runner runner(jobs);
+    if (!profile_cache_path.empty()) runner.set_profile_cache(profile_cache_path);
     campaign_report report;
     try {
         report = run_campaign(spec, runner);
@@ -245,5 +252,11 @@ int main(int argc, char** argv) {
                 report.records.size(), units.size(),
                 spec.output.empty() ? "" : " in ",
                 spec.output.c_str());
+    if (profile_cache_path.empty()) {
+        std::printf("profiles: %zu fresh\n", runner.fresh_profiles());
+    } else {
+        std::printf("profiles: %zu fresh (cache: %s)\n", runner.fresh_profiles(),
+                    profile_cache_path.c_str());
+    }
     return report.failed == 0 ? 0 : 1;
 }

@@ -1,0 +1,485 @@
+// Profile-pipeline benchmark + perf-regression gate.
+//
+// Measures the topology-measurement prologue every campaign pays —
+// profile() in graph/spectral.h — against its pre-Lanczos predecessor,
+// replicated here so the before/after is measured, not recalled:
+//
+//   1. profile pipeline — end-to-end profile() (Lanczos eigenpair, shared
+//      Fiedler sweep, cost-model tmix, n·m-budgeted diameter) vs the
+//      legacy path: power iteration with the fixed 40·n·ln n budget run
+//      three times (λ₂ + two Fiedler computations), a serial dense §2
+//      simulation from every extremal start, and all-pairs BFS for every
+//      n <= 4096. The legacy side is *measured capped and extrapolated*
+//      (its full run is minutes to hours — the point of this PR); the
+//      extrapolation factors are deterministic iteration/step counts, so
+//      the printed "legacy s (est)" is an honest lower bound (the old
+//      early-exit check's extra matvec every 32 iters is included, its
+//      possible early stop is not — it never fired on low-gap families).
+//   2. profile at scale — wall-clock for full profiles at n = 10^5.
+//   3. estimator agreement — Lanczos vs power-iteration λ₂, and the
+//      sampled-walk tmix vs the exact §2 evaluation, as identity gates.
+//
+// The committed baseline lives at BENCH_PROFILE.json in the repo root;
+// CI regenerates and gates against it like BENCH_ENGINE.json: speedup
+// ratios may not fall below baseline/3 (same-host ratios, so runner
+// speed cancels), agreement columns must stay "yes".
+//
+// Flags: --quick | --csv | --json | --json-out FILE | --check FILE | --jobs N
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/lanczos.h"
+#include "graph/properties.h"
+#include "graph/spectral.h"
+#include "sim/thread_pool.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace anole {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// --- legacy replica ----------------------------------------------------------
+//
+// The pre-Lanczos spectral path, replicated faithfully: scatter-form
+// symmetrized matvec, deflation against √d, fixed iteration budget
+// min(40·n·ln(n+2), 4e6)+100 with no residual exit.
+
+std::vector<double> legacy_sym_step(const graph& g, const std::vector<double>& x,
+                                    const std::vector<double>& inv_sqrt_d) {
+    std::vector<double> y(x.size(), 0.0);
+    for (node_id u = 0; u < g.num_nodes(); ++u) {
+        y[u] += 0.5 * x[u];
+        const double xu = 0.5 * x[u] * inv_sqrt_d[u];
+        for (node_id v : g.neighbors(u)) y[v] += xu * inv_sqrt_d[v];
+    }
+    return y;
+}
+
+double legacy_norm2(const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x * x;
+    return std::sqrt(s);
+}
+
+void legacy_deflate(std::vector<double>& v, const std::vector<double>& top) {
+    double dot = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) dot += v[i] * top[i];
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] -= dot * top[i];
+}
+
+std::uint64_t legacy_auto_iters(std::size_t n) {
+    const double nn = static_cast<double>(n);
+    return static_cast<std::uint64_t>(std::min(40.0 * nn * std::log(nn + 2.0), 4.0e6)) +
+           100;
+}
+
+// Times `cap` legacy power iterations; the caller extrapolates.
+double legacy_power_seconds(const graph& g, std::uint64_t cap) {
+    const std::size_t n = g.num_nodes();
+    std::vector<double> inv_sqrt_d(n), top(n);
+    for (node_id u = 0; u < n; ++u) {
+        inv_sqrt_d[u] = 1.0 / std::sqrt(static_cast<double>(g.degree(u)));
+        top[u] = std::sqrt(static_cast<double>(g.degree(u)));
+    }
+    const double tn = legacy_norm2(top);
+    for (double& x : top) x /= tn;
+    xoshiro256ss rng(derive_seed(0xFEED, n, g.num_edges()));
+    std::vector<double> v(n);
+    for (double& x : v) x = rng.uniform01() - 0.5;
+    legacy_deflate(v, top);
+    const double nv = legacy_norm2(v);
+    for (double& x : v) x /= nv;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t t = 0; t < cap; ++t) {
+        std::vector<double> w = legacy_sym_step(g, v, inv_sqrt_d);
+        legacy_deflate(w, top);
+        const double nw = legacy_norm2(w);
+        if (nw < 1e-300) break;
+        for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / nw;
+    }
+    return seconds_since(t0);
+}
+
+// The legacy tmix start heuristic, replicated to get its exact start
+// count (the dense simulation cost is per start).
+std::size_t legacy_start_count(const graph& g) {
+    const auto d0 = bfs_distances(g, 0);
+    const node_id a =
+        static_cast<node_id>(std::max_element(d0.begin(), d0.end()) - d0.begin());
+    const auto da = bfs_distances(g, a);
+    const node_id b =
+        static_cast<node_id>(std::max_element(da.begin(), da.end()) - da.begin());
+    node_id dmin = 0, dmax = 0;
+    for (node_id u = 0; u < g.num_nodes(); ++u) {
+        if (g.degree(u) < g.degree(dmin)) dmin = u;
+        if (g.degree(u) > g.degree(dmax)) dmax = u;
+    }
+    std::vector<node_id> starts = {0, a, b, dmin, dmax};
+    xoshiro256ss rng(derive_seed(1, g.num_nodes(), 0x317));
+    for (std::size_t i = 0; i < 4; ++i) {
+        starts.push_back(static_cast<node_id>(rng.below(g.num_nodes())));
+    }
+    std::sort(starts.begin(), starts.end());
+    starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+    return starts.size();
+}
+
+// Times `cap` dense §2 simulation steps (distribution step + ∞-gap scan).
+double legacy_tmix_step_seconds(const graph& g, std::uint64_t cap) {
+    const auto target = walk_stationary(g);
+    std::vector<double> pi(g.num_nodes(), 0.0);
+    pi[0] = 1.0;
+    double sink = 0.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t t = 0; t < cap; ++t) {
+        double gap = 0.0;
+        for (std::size_t i = 0; i < pi.size(); ++i) {
+            gap = std::max(gap, std::abs(pi[i] - target[i]));
+        }
+        sink += gap;
+        pi = walk_distribution_step(g, pi);
+    }
+    if (sink < 0) std::printf("impossible\n");  // keep the gap scan alive
+    return seconds_since(t0) / static_cast<double>(cap);
+}
+
+// Estimated full legacy profile() cost: 3 fixed-budget power runs (λ₂ +
+// Fiedler twice — the old path recomputed the vector per sweep cut), the
+// serial dense tmix simulation, and all-pairs BFS when n <= 4096.
+double legacy_profile_seconds_est(const graph& g, std::uint64_t tmix_steps_est) {
+    const std::size_t n = g.num_nodes();
+    const std::uint64_t budget = legacy_auto_iters(n);
+    const std::uint64_t cap = std::min<std::uint64_t>(budget, 150);
+    const double per_iter = legacy_power_seconds(g, cap) / static_cast<double>(cap);
+    // +1/32: the old stabilization check ran one extra matvec every 32
+    // iterations past t=64.
+    double total = per_iter * static_cast<double>(budget) * (1.0 + 1.0 / 32.0) * 3.0;
+
+    const std::size_t starts = legacy_start_count(g);
+    const double per_step = legacy_tmix_step_seconds(g, 30);
+    total += per_step * static_cast<double>(tmix_steps_est) *
+             static_cast<double>(starts);
+
+    if (n <= 4096) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (node_id s = 0; s < 4; ++s) (void)bfs_distances(g, s);
+        total += seconds_since(t0) / 4.0 * static_cast<double>(n);
+    }
+    return total;
+}
+
+// How many dense steps the legacy simulation would have run per start.
+// When the new pipeline measured tmix, that value is the answer; when it
+// reported the spectral bound, discount by 4x (the bound's log-factor
+// slack) so the legacy estimate stays conservative.
+std::uint64_t legacy_tmix_steps(const graph_profile& p) {
+    if (p.mixing_method == profile_method::spectral) {
+        return std::max<std::uint64_t>(1, p.mixing_time / 4);
+    }
+    return std::max<std::uint64_t>(1, p.mixing_time);
+}
+
+// --- output / baseline gate (same shape as bench_engine_micro) ---------------
+
+struct options {
+    bool quick = false;
+    bool csv = false;
+    bool json = false;
+    std::size_t jobs = 0;
+    std::string json_out;
+    std::string check;
+};
+
+struct emitted {
+    std::string title;
+    text_table table;
+};
+
+void emit(std::vector<emitted>& sink, const options& opt, const std::string& title,
+          const text_table& t) {
+    std::cout << "\n== " << title << " ==\n";
+    t.print(std::cout);
+    if (opt.csv) {
+        std::cout << "-- csv --\n";
+        t.print_csv(std::cout);
+    }
+    if (opt.json) {
+        std::cout << "-- json --\n";
+        t.print_json(std::cout, title);
+    }
+    std::cout.flush();
+    sink.push_back(emitted{title, t});
+}
+
+double cell_number(const std::string& s) {
+    std::string clean;
+    for (char c : s) {
+        if (c != ',' && c != 'x') clean.push_back(c);
+    }
+    return std::strtod(clean.c_str(), nullptr);
+}
+
+struct gate_column {
+    std::string title;
+    std::string key;
+    std::string column;
+    bool identity = false;
+};
+
+int run_check(const std::string& path, const std::vector<emitted>& tables,
+              const std::vector<gate_column>& checks) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "check: cannot open baseline '%s'\n", path.c_str());
+        return 1;
+    }
+    std::map<std::string, json_value> baseline;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        json_value v = json_parse(line);
+        std::string title = v.at("title").as_string();
+        baseline.emplace(std::move(title), std::move(v));
+    }
+    std::map<std::string, json_value> current;
+    for (const auto& e : tables) {
+        std::ostringstream os;
+        e.table.print_json(os, e.title);
+        current.emplace(e.title, json_parse(os.str()));
+    }
+    int failures = 0;
+    for (const auto& c : checks) {
+        auto bit = baseline.find(c.title);
+        auto cit = current.find(c.title);
+        if (bit == baseline.end() || cit == current.end()) {
+            std::fprintf(stderr,
+                         "check: table '%s' missing (baseline: %s, current: %s)\n",
+                         c.title.c_str(), bit == baseline.end() ? "no" : "yes",
+                         cit == current.end() ? "no" : "yes");
+            ++failures;
+            continue;
+        }
+        std::map<std::string, const json_value*> base_rows;
+        for (const auto& row : bit->second.at("rows").as_array()) {
+            base_rows.emplace(row.at(c.key).as_string(), &row);
+        }
+        for (const auto& row : cit->second.at("rows").as_array()) {
+            const std::string& key = row.at(c.key).as_string();
+            auto b = base_rows.find(key);
+            if (b == base_rows.end()) continue;  // new workload: not gated yet
+            const std::string& cur_cell = row.at(c.column).as_string();
+            const std::string& base_cell = b->second->at(c.column).as_string();
+            if (c.identity) {
+                if (cur_cell != "yes") {
+                    std::fprintf(stderr, "check: %s / %s / %s = '%s' (must be 'yes')\n",
+                                 c.title.c_str(), key.c_str(), c.column.c_str(),
+                                 cur_cell.c_str());
+                    ++failures;
+                }
+                continue;
+            }
+            const double cur = cell_number(cur_cell);
+            const double base = cell_number(base_cell);
+            if (base > 0 && cur < base / 3.0) {
+                std::fprintf(stderr,
+                             "check: hard regression: %s / %s / %s = %.3g, "
+                             "baseline %.3g (floor %.3g)\n",
+                             c.title.c_str(), key.c_str(), c.column.c_str(), cur, base,
+                             base / 3.0);
+                ++failures;
+            }
+        }
+    }
+    if (failures == 0) {
+        std::printf("check: OK — all gated columns within 3x of '%s'\n", path.c_str());
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+// --- the bench ---------------------------------------------------------------
+
+int run(const options& opt) {
+    std::vector<emitted> tables;
+    thread_pool pool(opt.jobs);
+
+    // --- 1. end-to-end profile(): new pipeline vs extrapolated legacy ---
+    struct workload {
+        const char* name;
+        graph g;
+    };
+    std::vector<workload> workloads;
+    if (opt.quick) {
+        workloads.push_back({"dumbbell(512)",
+                             make_family(graph_family::dumbbell, 512, 1)});
+        workloads.push_back({"caveman(300)",
+                             make_family(graph_family::connected_caveman, 300, 1)});
+        workloads.push_back({"ba(512)",
+                             make_family(graph_family::barabasi_albert, 512, 1)});
+    } else {
+        workloads.push_back({"dumbbell(4096)",
+                             make_family(graph_family::dumbbell, 4096, 1)});
+        workloads.push_back({"caveman(1200)",
+                             make_family(graph_family::connected_caveman, 1200, 1)});
+        workloads.push_back({"ba(4096)",
+                             make_family(graph_family::barabasi_albert, 4096, 1)});
+        workloads.push_back({"torus(64x64)", make_torus(64, 64)});
+    }
+
+    text_table t1({"workload", "n", "m", "new s", "legacy s (est)", "speedup",
+                   "tmix method"});
+    for (auto& w : workloads) {
+        profile_options po;
+        po.pool = &pool;
+        graph_profile p;
+        double new_s = 1e300;
+        for (int rep = 0; rep < 2; ++rep) {
+            const auto t0 = std::chrono::steady_clock::now();
+            p = profile(w.g, po);
+            new_s = std::min(new_s, seconds_since(t0));
+        }
+        const double legacy_s = legacy_profile_seconds_est(w.g, legacy_tmix_steps(p));
+        t1.add_row({w.name, fmt_count(w.g.num_nodes()), fmt_count(w.g.num_edges()),
+                    fmt_fixed(new_s, 3), fmt_fixed(legacy_s, 1),
+                    fmt_ratio(legacy_s / new_s), to_string(p.mixing_method)});
+    }
+    emit(tables, opt, "profile pipeline", t1);
+
+    // --- 2. full profiles at scale (n = 1e5; informational, not gated) ---
+    struct scale_case {
+        const char* name;
+        graph_family family;
+        std::size_t n;
+    };
+    const std::size_t big = opt.quick ? 10'000 : 100'000;
+    std::vector<scale_case> scale = {
+        {"watts_strogatz", graph_family::watts_strogatz, big},
+        {"barabasi_albert", graph_family::barabasi_albert, big},
+        {"caveman", graph_family::connected_caveman, big},
+    };
+    text_table t2({"family", "n", "m", "profile s", "lambda2", "tmix", "tmix method",
+                   "diam method"});
+    for (const auto& c : scale) {
+        const graph g = make_family(c.family, c.n, 1);
+        profile_options po;
+        po.pool = &pool;
+        const auto t0 = std::chrono::steady_clock::now();
+        const graph_profile p = profile(g, po);
+        const double s = seconds_since(t0);
+        t2.add_row({c.name, fmt_count(g.num_nodes()), fmt_count(g.num_edges()),
+                    fmt_fixed(s, 2), fmt_fixed(p.lambda2, 6), fmt_count(p.mixing_time),
+                    to_string(p.mixing_method), to_string(p.diameter_method)});
+    }
+    emit(tables, opt, "profile at scale", t2);
+
+    // --- 3. estimator agreement (identity-gated) ---
+    text_table t3({"family", "n", "lambda2 agree", "tmix agree"});
+    const std::vector<graph_family> agree_fams = {
+        graph_family::cycle,          graph_family::complete,
+        graph_family::dumbbell,       graph_family::connected_caveman,
+        graph_family::watts_strogatz, graph_family::barabasi_albert,
+    };
+    bool all_agree = true;
+    for (graph_family f : agree_fams) {
+        const std::size_t n = 64;
+        const graph g = make_family(f, n, 1);
+        const double l_lan = lambda2_lazy(g, 0, &pool);
+        const double l_pow = lambda2_power(g);
+        const bool l_ok = std::abs(l_lan - l_pow) <= 1e-6;
+
+        mixing_time_options mo;
+        mo.exhaustive_starts = true;
+        mo.pool = &pool;
+        const std::uint64_t exact = mixing_time_simulated(g, mo);
+        sampled_mixing_options so;
+        so.pool = &pool;
+        const std::uint64_t sampled = mixing_time_sampled(g, so);
+        const std::uint64_t diff = sampled > exact ? sampled - exact : exact - sampled;
+        const bool t_ok =
+            diff <= std::max<std::uint64_t>(2, exact / 4);  // ±25% or ±2 steps
+        all_agree = all_agree && l_ok && t_ok;
+        t3.add_row({to_string(f), fmt_count(n), l_ok ? "yes" : "NO",
+                    t_ok ? "yes" : "NO"});
+    }
+    emit(tables, opt, "estimator agreement", t3);
+    if (!all_agree) {
+        std::fprintf(stderr, "estimator disagreement — spectral pipeline bug\n");
+        return 2;
+    }
+
+    if (!opt.json_out.empty()) {
+        std::ofstream out(opt.json_out);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n", opt.json_out.c_str());
+            return 2;
+        }
+        for (const auto& e : tables) e.table.print_json(out, e.title);
+    }
+
+    if (!opt.check.empty()) {
+        // Gate the speedup ratios (same-host, machine-independent) and
+        // the agreement identities; absolute seconds stay informational.
+        const std::vector<gate_column> checks = {
+            {"profile pipeline", "workload", "speedup", false},
+            {"estimator agreement", "family", "lambda2 agree", true},
+            {"estimator agreement", "family", "tmix agree", true},
+        };
+        return run_check(opt.check, tables, checks);
+    }
+    return 0;
+}
+
+}  // namespace
+}  // namespace anole
+
+int main(int argc, char** argv) {
+    anole::options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto value = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s requires a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--quick") {
+            opt.quick = true;
+        } else if (a == "--csv") {
+            opt.csv = true;
+        } else if (a == "--json") {
+            opt.json = true;
+        } else if (a == "--jobs") {
+            opt.jobs = static_cast<std::size_t>(std::strtoul(value("--jobs").c_str(),
+                                                             nullptr, 10));
+        } else if (a == "--json-out") {
+            opt.json_out = value("--json-out");
+        } else if (a == "--check") {
+            opt.check = value("--check");
+        } else if (a == "--help" || a == "-h") {
+            std::printf("flags: --quick | --csv | --json | --jobs N |"
+                        " --json-out FILE | --check FILE\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "error: unknown flag '%s' (try --help)\n", a.c_str());
+            return 2;
+        }
+    }
+    return anole::run(opt);
+}

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <numeric>
 
+#include "graph/lanczos.h"
 #include "graph/properties.h"
+#include "sim/thread_pool.h"
 #include "util/rng.h"
 
 namespace anole {
@@ -32,8 +35,11 @@ std::vector<double> walk_stationary(const graph& g) {
 
 namespace {
 
+constexpr std::uint64_t kOverBudget = ~std::uint64_t{0};
+
 // Steps the distribution from a point mass at `src` until within eps of
-// stationary in ∞-norm; returns the step count.
+// stationary in ∞-norm; returns the step count, or kOverBudget past
+// max_steps (pool jobs must not throw; callers convert the sentinel).
 std::uint64_t mix_from(const graph& g, node_id src, const std::vector<double>& target,
                        double eps, std::uint64_t max_steps) {
     std::vector<double> pi(g.num_nodes(), 0.0);
@@ -44,8 +50,44 @@ std::uint64_t mix_from(const graph& g, node_id src, const std::vector<double>& t
             gap = std::max(gap, std::abs(pi[i] - target[i]));
         }
         if (gap <= eps) return t;
-        require(t < max_steps, "mixing_time_simulated: exceeded max_steps");
+        if (t >= max_steps) return kOverBudget;
         pi = walk_distribution_step(g, pi);
+    }
+}
+
+// The shared start heuristic: BFS-farthest pair, min/max degree, randoms.
+std::vector<node_id> extremal_starts(const graph& g, std::uint64_t seed,
+                                     std::size_t extra_starts) {
+    const auto d0 = bfs_distances(g, 0);
+    const node_id a = static_cast<node_id>(std::max_element(d0.begin(), d0.end()) -
+                                           d0.begin());
+    const auto da = bfs_distances(g, a);
+    const node_id b = static_cast<node_id>(std::max_element(da.begin(), da.end()) -
+                                           da.begin());
+    node_id dmin = 0, dmax = 0;
+    for (node_id u = 0; u < g.num_nodes(); ++u) {
+        if (g.degree(u) < g.degree(dmin)) dmin = u;
+        if (g.degree(u) > g.degree(dmax)) dmax = u;
+    }
+    std::vector<node_id> starts = {0, a, b, dmin, dmax};
+    xoshiro256ss rng(derive_seed(seed, g.num_nodes(), 0x317));
+    for (std::size_t i = 0; i < extra_starts; ++i) {
+        starts.push_back(static_cast<node_id>(rng.below(g.num_nodes())));
+    }
+    std::sort(starts.begin(), starts.end());
+    starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+    return starts;
+}
+
+// Runs fn(i) for every start index, sharded when a pool is given. The
+// per-index results land in a caller-indexed vector, so the max-reduction
+// below is independent of scheduling.
+template <class Fn>
+void for_each_start(std::size_t count, thread_pool* pool, Fn&& fn) {
+    if (pool == nullptr || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i) fn(i);
+    } else {
+        pool->parallel_for(count, fn);
     }
 }
 
@@ -60,31 +102,94 @@ std::uint64_t mixing_time_simulated(const graph& g, const mixing_time_options& o
         starts.resize(g.num_nodes());
         std::iota(starts.begin(), starts.end(), 0);
     } else {
-        // Extremal heuristic: BFS-farthest pair, min/max degree, randoms.
-        const auto d0 = bfs_distances(g, 0);
-        const node_id a = static_cast<node_id>(
-            std::max_element(d0.begin(), d0.end()) - d0.begin());
-        const auto da = bfs_distances(g, a);
-        const node_id b = static_cast<node_id>(
-            std::max_element(da.begin(), da.end()) - da.begin());
-        node_id dmin = 0, dmax = 0;
-        for (node_id u = 0; u < g.num_nodes(); ++u) {
-            if (g.degree(u) < g.degree(dmin)) dmin = u;
-            if (g.degree(u) > g.degree(dmax)) dmax = u;
-        }
-        starts = {0, a, b, dmin, dmax};
-        xoshiro256ss rng(derive_seed(opt.seed, g.num_nodes(), 0x317));
-        for (std::size_t i = 0; i < opt.extra_starts; ++i) {
-            starts.push_back(static_cast<node_id>(rng.below(g.num_nodes())));
-        }
-        std::sort(starts.begin(), starts.end());
-        starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+        starts = extremal_starts(g, opt.seed, opt.extra_starts);
     }
 
+    std::vector<std::uint64_t> per_start(starts.size(), 0);
+    for_each_start(starts.size(), opt.pool, [&](std::size_t i) {
+        per_start[i] = mix_from(g, starts[i], target, eps, opt.max_steps);
+    });
     std::uint64_t worst = 0;
-    for (node_id s : starts) {
-        worst = std::max(worst, mix_from(g, s, target, eps, opt.max_steps));
+    for (std::uint64_t t : per_start) worst = std::max(worst, t);
+    require(worst != kOverBudget, "mixing_time_simulated: exceeded max_steps");
+    return worst;
+}
+
+namespace {
+
+// Token-ensemble evaluation of the §2 stopping rule from one start:
+// evolve K tokens at once (binomial stayers, multinomial port split —
+// PR 3's O(degree) machinery) and measure ‖ĉ/K − π‖∞ instead of the
+// dense distribution. Returns the step count or kOverBudget.
+std::uint64_t sampled_mix_from(const graph& g, node_id src, std::uint64_t tokens,
+                               const std::vector<double>& target, double eps,
+                               std::uint64_t seed, std::uint64_t max_steps) {
+    const std::size_t n = g.num_nodes();
+    std::vector<std::uint64_t> counts(n, 0), next(n, 0);
+    counts[src] = tokens;
+    std::size_t max_deg = 0;
+    for (node_id u = 0; u < n; ++u) max_deg = std::max(max_deg, g.degree(u));
+    std::vector<std::uint64_t> ports(max_deg);
+    xoshiro256ss rng(derive_seed(seed, src, 0x5A3D));
+    const double inv_k = 1.0 / static_cast<double>(tokens);
+
+    for (std::uint64_t t = 0;; ++t) {
+        double gap = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            gap = std::max(gap,
+                           std::abs(static_cast<double>(counts[i]) * inv_k - target[i]));
+        }
+        if (gap <= eps) return t;
+        if (t >= max_steps) return kOverBudget;
+
+        std::fill(next.begin(), next.end(), 0);
+        for (node_id u = 0; u < n; ++u) {
+            const std::uint64_t resident = counts[u];
+            if (resident == 0) continue;
+            const std::uint64_t movers = binomial(rng, resident, 0.5);
+            next[u] += resident - movers;
+            if (movers == 0) continue;
+            const auto nbrs = g.neighbors(u);
+            const std::uint64_t d = nbrs.size();
+            if (movers < d) {
+                for (std::uint64_t i = 0; i < movers; ++i) {
+                    ++next[nbrs[static_cast<std::size_t>(rng.below(d))]];
+                }
+            } else {
+                auto span = std::span<std::uint64_t>(ports.data(), d);
+                multinomial_uniform(rng, movers, span);
+                for (std::uint64_t p = 0; p < d; ++p) next[nbrs[p]] += span[p];
+            }
+        }
+        counts.swap(next);
     }
+}
+
+std::uint64_t auto_tokens(const graph& g) {
+    // Per-node noise of ĉ_v/K at stationarity is ≈ √(π_v/K) ≤ √(π_max/K);
+    // keeping 4σ under half the 1/(2n) threshold needs K ≥ 256·π_max·n².
+    const double n = static_cast<double>(g.num_nodes());
+    const double pi_max = degrees(g).max / (2.0 * static_cast<double>(g.num_edges()));
+    const double k = 256.0 * pi_max * n * n;
+    return std::max<std::uint64_t>(4096, static_cast<std::uint64_t>(std::ceil(k)));
+}
+
+}  // namespace
+
+std::uint64_t mixing_time_sampled(const graph& g, const sampled_mixing_options& opt) {
+    const auto target = walk_stationary(g);
+    const double eps = 1.0 / (2.0 * static_cast<double>(g.num_nodes()));
+    const std::uint64_t tokens = opt.tokens != 0 ? opt.tokens : auto_tokens(g);
+    const auto starts = extremal_starts(g, opt.seed, opt.extra_starts);
+
+    std::vector<std::uint64_t> per_start(starts.size(), 0);
+    for_each_start(starts.size(), opt.pool, [&](std::size_t i) {
+        per_start[i] = sampled_mix_from(g, starts[i], tokens, target, eps, opt.seed,
+                                        opt.max_steps);
+    });
+    std::uint64_t worst = 0;
+    for (std::uint64_t t : per_start) worst = std::max(worst, t);
+    require(worst != kOverBudget, "mixing_time_sampled: exceeded max_steps");
     return worst;
 }
 
@@ -118,18 +223,49 @@ void deflate(std::vector<double>& v, const std::vector<double>& unit_top) {
 
 std::size_t auto_iters(const graph& g, std::size_t requested) {
     if (requested != 0) return requested;
-    // Power iteration error decays like (λ2/λ1)^t; spectral gaps as small
-    // as ~1/n² (cycle) need Θ(n² log n) iterations. Cap generously.
+    // Power iteration error decays like (λ3/λ2)^t; spectral gaps as small
+    // as ~1/n² (cycle) need Θ(n² log n) iterations. Cap generously; the
+    // residual early exit below stops well-conditioned families long
+    // before this worst-case budget.
     const double n = static_cast<double>(g.num_nodes());
     const double est = 40.0 * n * std::log(n + 2.0);
     return static_cast<std::size_t>(std::min(est, 4.0e6)) + 100;
 }
 
+// Shared power-iteration core: returns the converged unit vector in `v`
+// and the final Rayleigh quotient. `tol` bounds ‖Nv − ρv‖₂, computed from
+// ρ = v·w and ‖w‖ (no extra matvec: residual² = ‖w‖² − ρ² for unit v).
+double power_iterate(const graph& g, std::vector<double>& v,
+                     const std::vector<double>& inv_sqrt_d,
+                     const std::vector<double>& top, std::size_t its, double tol) {
+    double rho = 0.5;
+    for (std::size_t t = 0; t < its; ++t) {
+        std::vector<double> w = lazy_sym_step(g, v, inv_sqrt_d);
+        deflate(w, top);
+        const double nw = norm2(w);
+        if (nw < 1e-300) return 0.5;  // spectrum collapsed; lazy floor
+        double dot = 0.0;
+        for (std::size_t i = 0; i < v.size(); ++i) dot += v[i] * w[i];
+        rho = dot;
+        const double res2 = nw * nw - rho * rho;
+        for (std::size_t i = 0; i < v.size(); ++i) v[i] = w[i] / nw;
+        if (t > 4 && res2 <= tol * tol) break;
+    }
+    return rho;
+}
+
 }  // namespace
 
-double lambda2_lazy(const graph& g, std::size_t iters) {
+double lambda2_lazy(const graph& g, std::size_t iters, thread_pool* pool) {
+    lanczos_options opt;
+    opt.max_iters = iters;
+    opt.pool = pool;
+    return lanczos_lambda2(g, opt).lambda2;
+}
+
+double lambda2_power(const graph& g, std::size_t iters, double tol) {
     const std::size_t n = g.num_nodes();
-    require(n >= 2, "lambda2_lazy: n >= 2");
+    require(n >= 2, "lambda2_power: n >= 2");
     std::vector<double> inv_sqrt_d(n), top(n);
     for (node_id u = 0; u < n; ++u) {
         inv_sqrt_d[u] = 1.0 / std::sqrt(static_cast<double>(g.degree(u)));
@@ -142,45 +278,41 @@ double lambda2_lazy(const graph& g, std::size_t iters) {
     std::vector<double> v(n);
     for (double& x : v) x = rng.uniform01() - 0.5;
     deflate(v, top);
-    double nv = norm2(v);
-    require(nv > 0, "lambda2_lazy: degenerate start");
+    const double nv = norm2(v);
+    require(nv > 0, "lambda2_power: degenerate start");
     for (double& x : v) x /= nv;
 
-    const std::size_t its = auto_iters(g, iters);
-    double lambda = 0.5;
-    for (std::size_t t = 0; t < its; ++t) {
-        std::vector<double> w = lazy_sym_step(g, v, inv_sqrt_d);
-        deflate(w, top);
-        const double nw = norm2(w);
-        if (nw < 1e-300) return 0.5;  // spectrum collapsed; lazy floor
-        lambda = nw;  // Rayleigh-ish: |N v| for unit v converges to λ2
-        for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / nw;
-        // Early exit once consecutive estimates stabilize.
-        if (t > 64 && t % 32 == 0) {
-            std::vector<double> w2 = lazy_sym_step(g, v, inv_sqrt_d);
-            deflate(w2, top);
-            const double l2 = norm2(w2);
-            if (std::abs(l2 - lambda) < 1e-12) return l2;
-        }
-    }
-    return lambda;
+    return power_iterate(g, v, inv_sqrt_d, top, auto_iters(g, iters), tol);
 }
 
-std::uint64_t mixing_time_spectral_bound(const graph& g) {
-    const double l2 = lambda2_lazy(g);
+std::uint64_t mixing_time_spectral_bound(const graph& g, double lambda2) {
     const double n = static_cast<double>(g.num_nodes());
     const auto ds = degrees(g);
     const double ratio = std::sqrt(static_cast<double>(ds.max) /
                                    static_cast<double>(ds.min));
     // ‖P^t π0 − π‖∞ ≤ n·√(dmax/dmin)·λ₂^t; need ≤ 1/(2n).
     const double needed = std::log(2.0 * n * n * ratio);
-    const double gap = -std::log(std::min(l2, 1.0 - 1e-12));
+    const double gap = -std::log(std::min(lambda2, 1.0 - 1e-12));
     return static_cast<std::uint64_t>(std::ceil(needed / std::max(gap, 1e-12)));
 }
 
-std::vector<double> fiedler_vector(const graph& g, std::size_t iters, std::uint64_t seed) {
+std::uint64_t mixing_time_spectral_bound(const graph& g) {
+    return mixing_time_spectral_bound(g, lambda2_lazy(g));
+}
+
+std::vector<double> fiedler_vector(const graph& g, std::size_t iters, std::uint64_t seed,
+                                   thread_pool* pool) {
+    lanczos_options opt;
+    opt.max_iters = iters;
+    opt.seed = seed;
+    opt.pool = pool;
+    return lanczos_lambda2(g, opt).fiedler;
+}
+
+std::vector<double> fiedler_vector_power(const graph& g, std::size_t iters,
+                                         std::uint64_t seed, double tol) {
     const std::size_t n = g.num_nodes();
-    require(n >= 2, "fiedler_vector: n >= 2");
+    require(n >= 2, "fiedler_vector_power: n >= 2");
     std::vector<double> inv_sqrt_d(n), top(n);
     for (node_id u = 0; u < n; ++u) {
         inv_sqrt_d[u] = 1.0 / std::sqrt(static_cast<double>(g.degree(u)));
@@ -193,23 +325,61 @@ std::vector<double> fiedler_vector(const graph& g, std::size_t iters, std::uint6
     std::vector<double> v(n);
     for (double& x : v) x = rng.uniform01() - 0.5;
     deflate(v, top);
-    double nv = norm2(v);
+    const double nv = norm2(v);
     for (double& x : v) x /= nv;
 
-    const std::size_t its = auto_iters(g, iters);
-    for (std::size_t t = 0; t < its; ++t) {
-        std::vector<double> w = lazy_sym_step(g, v, inv_sqrt_d);
-        deflate(w, top);
-        const double nw = norm2(w);
-        if (nw < 1e-300) break;
-        for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / nw;
-    }
+    power_iterate(g, v, inv_sqrt_d, top, auto_iters(g, iters), tol);
     // Scale back: sweep cuts should order by the D^{-1/2}-scaled embedding.
     for (std::size_t i = 0; i < n; ++i) v[i] *= inv_sqrt_d[i];
     return v;
 }
 
+const char* to_string(profile_method m) noexcept {
+    switch (m) {
+        case profile_method::fact: return "fact";
+        case profile_method::exact: return "exact";
+        case profile_method::sweep: return "sweep";
+        case profile_method::simulated: return "simulated";
+        case profile_method::sampled: return "sampled";
+        case profile_method::spectral: return "spectral";
+    }
+    return "unknown";
+}
+
+profile_method profile_method_from_string(const std::string& s) {
+    if (s == "fact") return profile_method::fact;
+    if (s == "exact") return profile_method::exact;
+    if (s == "sweep") return profile_method::sweep;
+    if (s == "simulated") return profile_method::simulated;
+    if (s == "sampled") return profile_method::sampled;
+    if (s == "spectral") return profile_method::spectral;
+    throw error("profile_method_from_string: unknown method '" + s + "'");
+}
+
+std::string graph_profile::to_json() const {
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"n\":%zu,\"m\":%zu,\"diameter\":%u,\"conductance\":%.17g,"
+        "\"isoperimetric\":%.17g,\"mixing_time\":%llu,\"lambda2\":%.17g,"
+        "\"exact_cuts\":%s,\"diameter_method\":\"%s\",\"conductance_method\":\"%s\","
+        "\"isoperimetric_method\":\"%s\",\"mixing_method\":\"%s\","
+        "\"lambda2_converged\":%s}",
+        n, m, diameter, conductance, isoperimetric,
+        static_cast<unsigned long long>(mixing_time), lambda2,
+        exact_cuts ? "true" : "false", to_string(diameter_method),
+        to_string(conductance_method), to_string(isoperimetric_method),
+        to_string(mixing_method), lambda2_converged ? "true" : "false");
+    return std::string(buf);
+}
+
 graph_profile profile(const graph& g, std::uint64_t seed) {
+    profile_options opt;
+    opt.seed = seed;
+    return profile(g, opt);
+}
+
+graph_profile profile(const graph& g, const profile_options& opt) {
     graph_profile p;
     p.n = g.num_nodes();
     p.m = g.num_edges();
@@ -217,39 +387,107 @@ graph_profile profile(const graph& g, std::uint64_t seed) {
 
     if (f.diameter) {
         p.diameter = static_cast<std::uint32_t>(*f.diameter);
-    } else if (p.n <= 4096) {
+        p.diameter_method = profile_method::fact;
+    } else if (static_cast<std::uint64_t>(p.n) * p.m <= opt.exact_diameter_work) {
         p.diameter = diameter_exact(g);
+        p.diameter_method = profile_method::exact;
     } else {
         p.diameter = diameter_estimate(g).upper;
+        p.diameter_method = profile_method::sweep;
     }
 
-    const bool small = p.n <= 20;
-    p.exact_cuts = small;
+    // One Lanczos run serves λ₂ and (when needed) both sweep cuts — the
+    // old path recomputed the Fiedler vector per cut.
+    lanczos_options lopt;
+    lopt.seed = opt.seed;
+    lopt.pool = opt.pool;
+    const lanczos_result eig = lanczos_lambda2(g, lopt);
+    p.lambda2 = eig.lambda2;
+    p.lambda2_converged = eig.converged;
+
+    const bool small = p.n <= opt.exact_cuts_n;
     if (f.conductance) {
         p.conductance = *f.conductance;
-        p.exact_cuts = true;
+        p.conductance_method = profile_method::fact;
     } else if (small) {
         p.conductance = conductance_exact(g);
+        p.conductance_method = profile_method::exact;
     } else {
-        p.conductance = conductance_sweep(g, fiedler_vector(g, 0, seed));
+        p.conductance = conductance_sweep(g, eig.fiedler);
+        p.conductance_method = profile_method::sweep;
     }
     if (f.isoperimetric) {
         p.isoperimetric = *f.isoperimetric;
+        p.isoperimetric_method = profile_method::fact;
     } else if (small) {
         p.isoperimetric = isoperimetric_exact(g);
+        p.isoperimetric_method = profile_method::exact;
     } else {
-        p.isoperimetric = isoperimetric_sweep(g, fiedler_vector(g, 0, seed));
+        p.isoperimetric = isoperimetric_sweep(g, eig.fiedler);
+        p.isoperimetric_method = profile_method::sweep;
     }
+    p.exact_cuts = p.conductance_method == profile_method::fact ||
+                   p.conductance_method == profile_method::exact;
 
-    p.lambda2 = lambda2_lazy(g);
     if (f.mixing_time) {
         p.mixing_time = *f.mixing_time;
-    } else {
-        mixing_time_options opt;
-        opt.seed = seed;
-        opt.exhaustive_starts = p.n <= 128;
-        p.mixing_time = mixing_time_simulated(g, opt);
+        p.mixing_method = profile_method::fact;
+        return p;
     }
+    if (p.n <= opt.exhaustive_tmix_n) {
+        mixing_time_options mo;
+        mo.seed = opt.seed;
+        mo.exhaustive_starts = true;
+        mo.pool = opt.pool;
+        p.mixing_time = mixing_time_simulated(g, mo);
+        p.mixing_method = profile_method::exact;
+        return p;
+    }
+
+    // Cost model: predict the work each estimator needs from the spectral
+    // bound t̂ (already paid for by the Lanczos run) and run the cheapest
+    // one that fits the budget; past the budget the bound itself is the
+    // answer. Work units: dense = floats touched (2m per step per start),
+    // sampled = RNG-weighted draws (n scan + min(K, 2m) port work).
+    const std::uint64_t that = mixing_time_spectral_bound(g, p.lambda2);
+    const double starts = 5.0 + 4.0;  // extremal heuristic start count
+    const double m2 = 2.0 * static_cast<double>(p.m);
+    const double dense_cost = static_cast<double>(that) * m2 * starts;
+    const std::uint64_t tokens = auto_tokens(g);
+    constexpr double kRngOpWeight = 4.0;  // one RNG draw ≈ a few float ops
+    const double sampled_cost =
+        static_cast<double>(that) * starts * kRngOpWeight *
+        (static_cast<double>(p.n) + std::min(m2, static_cast<double>(tokens)));
+    const double budget = static_cast<double>(opt.tmix_work_budget);
+    // Past 8·t̂ something is off (the bound should dominate the measured
+    // value); give up on measurement and report the bound.
+    const std::uint64_t step_cap = 8 * that + 64;
+
+    try {
+        if (dense_cost <= budget && dense_cost <= sampled_cost) {
+            mixing_time_options mo;
+            mo.seed = opt.seed;
+            mo.max_steps = step_cap;
+            mo.pool = opt.pool;
+            p.mixing_time = mixing_time_simulated(g, mo);
+            p.mixing_method = profile_method::simulated;
+            return p;
+        }
+        if (sampled_cost <= budget) {
+            sampled_mixing_options so;
+            so.seed = opt.seed;
+            so.tokens = tokens;
+            so.max_steps = step_cap;
+            so.pool = opt.pool;
+            p.mixing_time = mixing_time_sampled(g, so);
+            p.mixing_method = profile_method::sampled;
+            return p;
+        }
+    } catch (const error&) {
+        // Step cap blown: fall through to the spectral bound.
+    }
+    p.mixing_time = that;
+    p.mixing_method = profile_method::spectral;
     return p;
 }
 

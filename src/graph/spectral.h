@@ -11,20 +11,34 @@
 //   * mixing_time_simulated — direct evaluation of the §2 definition from
 //     every point-mass start (exact; O(n · tmix · m), for small/medium n)
 //     or from a heuristic subset of extremal starts (certified as a lower
-//     bound estimate, in practice tight);
-//   * lambda2_lazy — second-largest eigenvalue of the symmetrized lazy
-//     walk via power iteration with deflation, giving the spectral upper
-//     bound tmix ≤ log(2n·√(dmax/dmin)·n)/(1−λ₂)-style estimates;
-//   * fiedler_vector — eigenvector for λ₂ of the normalized adjacency,
-//     feeding the sweep cuts in graph/properties.h.
+//     bound estimate, in practice tight); independent starts shard over
+//     an optional thread_pool with a jobs-invariant max-reduction;
+//   * mixing_time_sampled — §2 distance estimated from a token *ensemble*
+//     (the PR 3 binomial/multinomial machinery) instead of a dense
+//     π-vector: O(n + min(tokens, 2m)) RNG work per step, which beats the
+//     dense O(m) float pass exactly on the large dense-ish families where
+//     the dense path is the wall;
+//   * lambda2_lazy / fiedler_vector — second eigenpair of the symmetrized
+//     lazy walk via sparse Lanczos (graph/lanczos.h); the pre-Lanczos
+//     power-iteration-with-deflation paths remain as lambda2_power /
+//     fiedler_vector_power (now with residual-based early exit);
+//   * profile() — the one-stop measurement bundle with per-field
+//     provenance, a cost model that picks the cheapest adequate tmix
+//     method, and thread-pool sharding throughout.
+//
+// docs/PROFILES.md describes the pipeline, the estimator error semantics
+// and the on-disk cache layered above this module by sim/profile_cache.h.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
 
 namespace anole {
+
+class thread_pool;  // sim/thread_pool.h; borrowed, never owned
 
 // One step of the lazy uniform walk distribution: out[v] =
 // pi[v]/2 + Σ_{u~v} pi[u]/(2 deg(u)). `pi` and the result sum to the same
@@ -42,8 +56,12 @@ struct mixing_time_options {
     bool exhaustive_starts = false;
     std::size_t extra_starts = 4;
     std::uint64_t seed = 1;
-    // Hard cap on simulated steps (throws anole::error beyond it).
+    // Hard cap on simulated steps per start (throws anole::error beyond it).
     std::uint64_t max_steps = 50'000'000;
+    // Shards independent starts; nullptr = serial. The per-start step
+    // counts are deterministic and the reduction is a max, so the result
+    // is identical for every pool size.
+    thread_pool* pool = nullptr;
 };
 
 // tmix per the paper's definition (∞-norm gap 1/(2n)). With
@@ -52,36 +70,127 @@ struct mixing_time_options {
 [[nodiscard]] std::uint64_t mixing_time_simulated(const graph& g,
                                                   const mixing_time_options& opt = {});
 
-// Second-largest eigenvalue (in absolute value all eigenvalues of the lazy
-// matrix are >= 0, so this is λ₂) of the symmetrized lazy walk
-// N = I/2 + D^{-1/2} A D^{-1/2} / 2, via power iteration with deflation of
-// the known top eigenvector (√d). `iters` power steps (default auto).
-[[nodiscard]] double lambda2_lazy(const graph& g, std::size_t iters = 0);
+struct sampled_mixing_options {
+    // Ensemble size per start. 0 = auto: sized so the per-node sampling
+    // noise (≈ √(π_max/K)) sits well below the 1/(2n) decision threshold,
+    // i.e. K ≈ 256 · π_max · n². On near-regular families π_max ≈ 1/n so
+    // K = O(n); the estimator's per-step cost O(n + min(K, 2m)) then beats
+    // the dense path's O(m) floats whenever m ≫ n.
+    std::uint64_t tokens = 0;
+    std::size_t extra_starts = 4;
+    std::uint64_t seed = 1;
+    // Hard cap on steps per start (throws anole::error beyond it).
+    std::uint64_t max_steps = 50'000'000;
+    thread_pool* pool = nullptr;  // shards independent starts
+};
+
+// tmix estimated from token counts of a simulated ensemble (extremal
+// starts, same start heuristic as mixing_time_simulated). Sampling noise
+// makes this an *estimate*, biased slightly upward near the threshold
+// (noise inflates the measured gap); tests cross-validate it against the
+// exact dense evaluation on small n. Deterministic in (g, opt) and
+// independent of opt.pool.
+[[nodiscard]] std::uint64_t mixing_time_sampled(const graph& g,
+                                                const sampled_mixing_options& opt = {});
+
+// Second-largest eigenvalue (all eigenvalues of the lazy matrix are >= 0,
+// so this is λ₂) of the symmetrized lazy walk
+// N = I/2 + D^{-1/2} A D^{-1/2} / 2, via sparse Lanczos (graph/lanczos.h).
+// `iters` caps the Krylov budget (default auto); `pool` shards matvecs
+// with bitwise-identical results.
+[[nodiscard]] double lambda2_lazy(const graph& g, std::size_t iters = 0,
+                                  thread_pool* pool = nullptr);
+
+// Pre-Lanczos path: power iteration with deflation of the known top
+// eigenvector (√d), kept as a cross-check and for the perf baseline.
+// Stops early once the Rayleigh residual ‖Nv − ρv‖₂ drops below `tol`
+// (computed from quantities the iteration already has, no extra matvec).
+[[nodiscard]] double lambda2_power(const graph& g, std::size_t iters = 0,
+                                   double tol = 1e-9);
 
 // Spectral upper bound on tmix from λ₂: ceil( log(n²·√(dmax/dmin)·2) / (1−λ₂) ).
 [[nodiscard]] std::uint64_t mixing_time_spectral_bound(const graph& g);
+// Same bound from an already-computed λ₂ (profile() reuses its Lanczos run).
+[[nodiscard]] std::uint64_t mixing_time_spectral_bound(const graph& g, double lambda2);
 
 // Fiedler-style embedding: eigenvector of the *second* eigenvalue of the
 // normalized adjacency D^{-1/2} A D^{-1/2}, components scaled by D^{-1/2}
-// so sweep cuts cut the right measure. Deterministic given `seed`.
+// so sweep cuts cut the right measure. Deterministic given `seed`;
+// Lanczos-backed (pool shards matvecs, bitwise identical).
 [[nodiscard]] std::vector<double> fiedler_vector(const graph& g, std::size_t iters = 0,
-                                                 std::uint64_t seed = 7);
+                                                 std::uint64_t seed = 7,
+                                                 thread_pool* pool = nullptr);
+
+// Pre-Lanczos power-iteration path with residual-based early exit.
+[[nodiscard]] std::vector<double> fiedler_vector_power(const graph& g,
+                                                       std::size_t iters = 0,
+                                                       std::uint64_t seed = 7,
+                                                       double tol = 1e-9);
 
 // --- one-stop profile used by benches ---
+
+// How a profile field was obtained. The numeric contract per method:
+// fact/exact are true values; sweep is a certified upper bound (cuts) or
+// BFS upper bound (diameter); simulated is the §2 evaluation from
+// extremal starts (lower-bound estimate, tight in practice); sampled is
+// the token-ensemble estimate; spectral is the λ₂ upper bound on tmix.
+enum class profile_method : std::uint8_t {
+    fact,       // generator-provided graph_facts
+    exact,      // exhaustive computation of the definition
+    sweep,      // sweep-cut / double-sweep upper bound
+    simulated,  // dense §2 simulation from extremal starts
+    sampled,    // token-ensemble §2 estimate
+    spectral,   // λ₂-derived upper bound
+};
+
+[[nodiscard]] const char* to_string(profile_method m) noexcept;
+// Parses to_string's output; throws anole::error on unknown names.
+[[nodiscard]] profile_method profile_method_from_string(const std::string& s);
 
 struct graph_profile {
     std::size_t n = 0;
     std::size_t m = 0;
-    std::uint32_t diameter = 0;      // exact when n small, else upper bound
+    std::uint32_t diameter = 0;      // exact when n·m small, else upper bound
     double conductance = 0;          // exact when n <= 20, else sweep upper bound
     double isoperimetric = 0;        // likewise
-    std::uint64_t mixing_time = 0;   // simulated per §2 definition
+    std::uint64_t mixing_time = 0;   // per §2; see mixing_method for how
     double lambda2 = 0;
-    bool exact_cuts = false;         // whether Φ/i(G) are exact
+    bool exact_cuts = false;         // compat: conductance is fact/exact
+
+    // Provenance (new): how each field above was obtained.
+    profile_method diameter_method = profile_method::exact;
+    profile_method conductance_method = profile_method::exact;
+    profile_method isoperimetric_method = profile_method::exact;
+    profile_method mixing_method = profile_method::exact;
+    bool lambda2_converged = false;  // Lanczos residual met its tolerance
+
+    // Single-line JSON object; doubles printed with %.17g so a parse via
+    // util/json (std::from_chars) round-trips them bitwise.
+    [[nodiscard]] std::string to_json() const;
+};
+
+struct profile_options {
+    std::uint64_t seed = 1;
+    // Shards eigensolver matvecs and independent tmix starts. Results are
+    // identical for every pool configuration (including none).
+    thread_pool* pool = nullptr;
+    // Approximate work budget (inner-loop operations) for *measuring*
+    // tmix; when both the dense and the sampled estimator would exceed
+    // it, profile() reports the spectral bound instead.
+    std::uint64_t tmix_work_budget = 400'000'000;
+    // Below this n, tmix is evaluated exhaustively from every start.
+    std::size_t exhaustive_tmix_n = 128;
+    // All-pairs BFS diameter only while n·m stays under this.
+    std::uint64_t exact_diameter_work = 50'000'000;
+    // Exact-enumeration cut bound (must stay <= 24, see properties.h).
+    std::size_t exact_cuts_n = 20;
 };
 
 // Computes the profile, honoring generator-provided graph_facts when
 // available (they win over estimates; estimates fill gaps).
 [[nodiscard]] graph_profile profile(const graph& g, std::uint64_t seed = 1);
+// Full-control overload (note: no default argument — profile(g) binds to
+// the seed overload above).
+[[nodiscard]] graph_profile profile(const graph& g, const profile_options& opt);
 
 }  // namespace anole

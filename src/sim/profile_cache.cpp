@@ -1,0 +1,77 @@
+#include "sim/profile_cache.h"
+
+#include <fstream>
+
+#include "util/json.h"
+
+namespace anole {
+
+namespace {
+
+// Strict parse of one cached profile payload; throws on any mismatch so
+// the caller can skip the whole line.
+graph_profile profile_from_json(const json_value& v) {
+    graph_profile p;
+    p.n = static_cast<std::size_t>(v.at("n").as_uint());
+    p.m = static_cast<std::size_t>(v.at("m").as_uint());
+    p.diameter = static_cast<std::uint32_t>(v.at("diameter").as_uint());
+    p.conductance = v.at("conductance").as_number();
+    p.isoperimetric = v.at("isoperimetric").as_number();
+    p.mixing_time = v.at("mixing_time").as_uint();
+    p.lambda2 = v.at("lambda2").as_number();
+    p.exact_cuts = v.at("exact_cuts").as_bool();
+    p.diameter_method = profile_method_from_string(v.at("diameter_method").as_string());
+    p.conductance_method =
+        profile_method_from_string(v.at("conductance_method").as_string());
+    p.isoperimetric_method =
+        profile_method_from_string(v.at("isoperimetric_method").as_string());
+    p.mixing_method = profile_method_from_string(v.at("mixing_method").as_string());
+    p.lambda2_converged = v.at("lambda2_converged").as_bool();
+    return p;
+}
+
+}  // namespace
+
+profile_cache::profile_cache(std::string path) : path_(std::move(path)) {
+    std::ifstream in(path_);
+    if (!in) return;  // no file yet: empty cache
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        try {
+            const json_value v = json_parse(line);
+            if (v.at("version").as_uint() != profile_cache_version) continue;
+            entries_.insert_or_assign(v.at("key").as_string(),
+                                      profile_from_json(v.at("profile")));
+        } catch (const error&) {
+            // Torn tail line, hand-edited garbage, or an entry written by
+            // an incompatible build: recompute instead of trusting it.
+        }
+    }
+}
+
+std::optional<graph_profile> profile_cache::lookup(const std::string& key) const {
+    std::unique_lock<std::mutex> lk(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+}
+
+void profile_cache::store(const std::string& key, const graph_profile& p) {
+    std::unique_lock<std::mutex> lk(mu_);
+    std::ofstream out(path_, std::ios::app);
+    require(static_cast<bool>(out), "profile_cache: cannot open " + path_);
+    out << "{\"key\":\"" << json_escape(key)
+        << "\",\"version\":" << profile_cache_version << ",\"profile\":" << p.to_json()
+        << "}\n";
+    out.flush();
+    require(static_cast<bool>(out), "profile_cache: write failed for " + path_);
+    entries_.insert_or_assign(key, p);
+}
+
+std::size_t profile_cache::size() const {
+    std::unique_lock<std::mutex> lk(mu_);
+    return entries_.size();
+}
+
+}  // namespace anole

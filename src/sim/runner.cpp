@@ -139,19 +139,64 @@ const graph& scenario_runner::materialize(const topology_spec& spec) {
     auto fresh = std::make_unique<graph>(make_family(fs.family, fs.n, fs.seed));
     std::unique_lock<std::mutex> lk(mu_);
     auto [it, inserted] = graphs_.emplace(key, std::move(fresh));
+    if (inserted) {
+        profile_keys_.emplace(it->second.get(),
+                              std::string(to_string(fs.family)) + "/" +
+                                  std::to_string(fs.n) + "/s" +
+                                  std::to_string(fs.seed) + "/v" +
+                                  std::to_string(profile_cache_version));
+    }
     return *it->second;
 }
 
 const graph_profile& scenario_runner::profile_for(const graph& g) {
+    std::string key;
+    profile_cache* disk = nullptr;
     {
         std::unique_lock<std::mutex> lk(mu_);
         auto it = profiles_.find(&g);
         if (it != profiles_.end()) return *it->second;
+        auto kit = profile_keys_.find(&g);
+        if (kit != profile_keys_.end()) key = kit->second;
+        disk = disk_cache_.get();
     }
-    auto fresh = std::make_unique<graph_profile>(profile(g, 1));
+    if (disk != nullptr && !key.empty()) {
+        if (auto hit = disk->lookup(key)) {
+            std::unique_lock<std::mutex> lk(mu_);
+            auto it =
+                profiles_.emplace(&g, std::make_unique<graph_profile>(*hit)).first;
+            return *it->second;
+        }
+    }
+    profile_options po;
+    po.seed = 1;
+    po.pool = &pool_;
+    auto fresh = std::make_unique<graph_profile>(profile(g, po));
+    bool inserted = false;
+    const graph_profile* out = nullptr;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        auto [it, ins] = profiles_.emplace(&g, std::move(fresh));
+        inserted = ins;
+        if (ins) ++fresh_profiles_;
+        out = it->second.get();
+    }
+    // Persist outside mu_ (the cache has its own lock; keep file IO out of
+    // the hot map lock). Racing losers were discarded above — not stored.
+    if (inserted && disk != nullptr && !key.empty()) {
+        disk->store(key, *out);
+    }
+    return *out;
+}
+
+void scenario_runner::set_profile_cache(const std::string& path) {
     std::unique_lock<std::mutex> lk(mu_);
-    auto [it, inserted] = profiles_.emplace(&g, std::move(fresh));
-    return *it->second;
+    disk_cache_ = std::make_unique<profile_cache>(path);
+}
+
+std::size_t scenario_runner::fresh_profiles() const {
+    std::unique_lock<std::mutex> lk(mu_);
+    return fresh_profiles_;
 }
 
 std::size_t scenario_runner::cached_graphs() const {

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/profile_cache.h"
 #include "sim/scenario.h"
 #include "sim/thread_pool.h"
 
@@ -67,6 +68,15 @@ public:
     [[nodiscard]] std::size_t cached_graphs() const;
     [[nodiscard]] std::size_t cached_profiles() const;
 
+    // Layers a persistent JSONL cache (sim/profile_cache.h) *under* the
+    // in-memory profile map: profile_for resolves memory → disk →
+    // compute-and-store. Only generated topologies participate (borrowed
+    // graphs have no (family, n, seed) identity to key on).
+    void set_profile_cache(const std::string& path);
+    // Profiles actually computed (neither cache hit) since construction —
+    // a warm disk cache makes a repeat campaign report 0 here.
+    [[nodiscard]] std::size_t fresh_profiles() const;
+
     // One repetition, no pooling — the primitive run()/run_batch() fan
     // out. Exposed for tests and custom harnesses. `dynamics` attaches
     // the per-round adversary (sim/dynamics.h); default = static network.
@@ -96,6 +106,10 @@ private:
     std::map<std::tuple<graph_family, std::size_t, std::uint64_t>,
              std::unique_ptr<graph>> graphs_;
     std::map<const graph*, std::unique_ptr<graph_profile>> profiles_;
+    // Disk-cache keys for generated graphs + the cache itself (optional).
+    std::map<const graph*, std::string> profile_keys_;
+    std::unique_ptr<profile_cache> disk_cache_;
+    std::size_t fresh_profiles_ = 0;
 };
 
 }  // namespace anole

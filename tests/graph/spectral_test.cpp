@@ -4,11 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
 #include "graph/generators.h"
 #include "graph/properties.h"
+#include "sim/thread_pool.h"
 
 namespace anole {
 namespace {
@@ -139,6 +141,123 @@ TEST(Profile, ComputesWhenNoFacts) {
     EXPECT_GT(p.conductance, 0.0);
     EXPECT_GT(p.mixing_time, 0u);
     EXPECT_GT(p.lambda2, 0.0);
+}
+
+TEST(MixingTimeSampled, MatchesExactOnSmallFamilies) {
+    // The token-ensemble estimate against the exact §2 evaluation. Noise
+    // biases the estimate slightly upward near the threshold, so the
+    // tolerance is one-sided-ish: max(2 steps, exact/4).
+    for (auto fam : {graph_family::cycle, graph_family::complete,
+                     graph_family::dumbbell, graph_family::star,
+                     graph_family::connected_caveman}) {
+        const graph g = make_family(fam, 32, 1);
+        graph stripped(g.num_nodes(), g.edge_list());  // drop facts
+        mixing_time_options ex;
+        ex.exhaustive_starts = true;
+        const auto exact = mixing_time_simulated(stripped, ex);
+        const auto sampled = mixing_time_sampled(stripped);
+        const auto tol = std::max<std::uint64_t>(2, exact / 4);
+        EXPECT_LE(sampled > exact ? sampled - exact : exact - sampled, tol)
+            << to_string(fam) << " exact=" << exact << " sampled=" << sampled;
+    }
+}
+
+TEST(MixingTimeSampled, DeterministicAcrossPools) {
+    thread_pool p2(2), p8(8);
+    const graph g = make_family(graph_family::dumbbell, 32, 1);
+    sampled_mixing_options opt;
+    opt.tokens = 8192;  // determinism check only — keep the ensemble small
+    const auto serial = mixing_time_sampled(g, opt);
+    for (thread_pool* pool : {&p2, &p8}) {
+        opt.pool = pool;
+        EXPECT_EQ(mixing_time_sampled(g, opt), serial);
+    }
+}
+
+TEST(MixingTime, SimulatedDeterministicAcrossPools) {
+    thread_pool p2(2), p8(8);
+    for (const bool exhaustive : {false, true}) {
+        const graph g = make_family(graph_family::dumbbell, 48, 1);
+        mixing_time_options opt;
+        opt.exhaustive_starts = exhaustive;
+        const auto serial = mixing_time_simulated(g, opt);
+        for (thread_pool* pool : {&p2, &p8}) {
+            opt.pool = pool;
+            EXPECT_EQ(mixing_time_simulated(g, opt), serial)
+                << (exhaustive ? "exhaustive" : "heuristic");
+        }
+    }
+}
+
+TEST(Profile, ProvenanceReportsFactsAndKeepsCompatFlag) {
+    const auto p = profile(make_cycle(32), 1);  // generator ships all facts
+    EXPECT_EQ(p.diameter_method, profile_method::fact);
+    EXPECT_EQ(p.conductance_method, profile_method::fact);
+    EXPECT_EQ(p.isoperimetric_method, profile_method::fact);
+    EXPECT_EQ(p.mixing_method, profile_method::fact);
+    EXPECT_TRUE(p.exact_cuts);  // old consumers: fact counts as exact
+}
+
+TEST(Profile, ProvenanceReportsExactOnSmallBareGraph) {
+    graph g(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+    const auto p = profile(g, 1);
+    EXPECT_EQ(p.diameter_method, profile_method::exact);
+    EXPECT_EQ(p.conductance_method, profile_method::exact);   // n <= 20
+    EXPECT_EQ(p.mixing_method, profile_method::exact);        // exhaustive starts
+    EXPECT_TRUE(p.exact_cuts);
+    EXPECT_TRUE(p.lambda2_converged);
+}
+
+TEST(Profile, ProvenanceReportsBoundsOnLargerBareGraph) {
+    const graph g = make_family(graph_family::connected_caveman, 200, 1);
+    graph stripped(g.num_nodes(), g.edge_list());
+    const auto p = profile(stripped, 1);
+    EXPECT_EQ(p.conductance_method, profile_method::sweep);  // n > 20
+    EXPECT_FALSE(p.exact_cuts);
+    // n > 128: whatever tmix method the cost model picked, it is not the
+    // exhaustive-exact one, and the value must respect the spectral bound.
+    EXPECT_NE(p.mixing_method, profile_method::exact);
+    EXPECT_NE(p.mixing_method, profile_method::fact);
+    EXPECT_LE(p.mixing_time, mixing_time_spectral_bound(stripped, p.lambda2));
+}
+
+TEST(Profile, MethodNamesRoundTrip) {
+    for (auto m : {profile_method::fact, profile_method::exact,
+                   profile_method::sweep, profile_method::simulated,
+                   profile_method::sampled, profile_method::spectral}) {
+        EXPECT_EQ(profile_method_from_string(to_string(m)), m);
+    }
+    EXPECT_THROW((void)profile_method_from_string("guesswork"), error);
+}
+
+TEST(Profile, ToJsonCarriesProvenance) {
+    const auto p = profile(make_cycle(32), 1);
+    const std::string j = p.to_json();
+    EXPECT_NE(j.find("\"mixing_method\":\"fact\""), std::string::npos) << j;
+    EXPECT_NE(j.find("\"diameter_method\":\"fact\""), std::string::npos) << j;
+    EXPECT_NE(j.find("\"lambda2_converged\""), std::string::npos) << j;
+    EXPECT_NE(j.find("\"exact_cuts\":true"), std::string::npos) << j;
+}
+
+TEST(Profile, BitwiseIdenticalAcrossPools) {
+    thread_pool p2(2), p8(8);
+    // A fast-mixing family keeps the exhaustive dense tmix cheap; the
+    // dumbbell/caveman pooled paths are covered by the dedicated
+    // determinism tests above.
+    const graph g = make_family(graph_family::watts_strogatz, 128, 1);
+    graph stripped(g.num_nodes(), g.edge_list());
+    const auto serial = profile(stripped, 1);
+    for (thread_pool* pool : {&p2, &p8}) {
+        profile_options opt;
+        opt.pool = pool;
+        const auto p = profile(stripped, opt);
+        EXPECT_EQ(p.lambda2, serial.lambda2);  // bitwise
+        EXPECT_EQ(p.mixing_time, serial.mixing_time);
+        EXPECT_EQ(p.conductance, serial.conductance);
+        EXPECT_EQ(p.isoperimetric, serial.isoperimetric);
+        EXPECT_EQ(p.diameter, serial.diameter);
+        EXPECT_EQ(p.to_json(), serial.to_json());
+    }
 }
 
 }  // namespace

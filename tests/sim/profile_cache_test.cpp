@@ -1,0 +1,166 @@
+// Tests for sim/profile_cache.h and the runner's disk-cache layering:
+// bitwise round-trips, corrupt/stale entries silently recomputed, and the
+// "second campaign is free" contract (fresh_profiles drops to zero).
+#include "sim/profile_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/generators.h"
+#include "sim/runner.h"
+
+namespace anole {
+namespace {
+
+std::string temp_path(const std::string& tag) {
+    return ::testing::TempDir() + "anole_profile_cache_" + tag + ".jsonl";
+}
+
+bool bitwise_equal(const graph_profile& a, const graph_profile& b) {
+    return a.n == b.n && a.m == b.m && a.diameter == b.diameter &&
+           a.conductance == b.conductance && a.isoperimetric == b.isoperimetric &&
+           a.mixing_time == b.mixing_time && a.lambda2 == b.lambda2 &&
+           a.exact_cuts == b.exact_cuts && a.diameter_method == b.diameter_method &&
+           a.conductance_method == b.conductance_method &&
+           a.isoperimetric_method == b.isoperimetric_method &&
+           a.mixing_method == b.mixing_method &&
+           a.lambda2_converged == b.lambda2_converged;
+}
+
+TEST(ProfileCache, RoundTripIsBitwiseIdentical) {
+    const std::string path = temp_path("roundtrip");
+    std::remove(path.c_str());
+
+    const graph g = make_family(graph_family::dumbbell, 64, 1);
+    const graph_profile p = profile(g);
+    {
+        profile_cache cache(path);
+        EXPECT_EQ(cache.size(), 0u);
+        cache.store("dumbbell/64/s1/v1", p);
+        EXPECT_EQ(cache.size(), 1u);
+        const auto hit = cache.lookup("dumbbell/64/s1/v1");
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_TRUE(bitwise_equal(*hit, p));
+    }
+    // A fresh instance re-reads the file; doubles must survive the
+    // %.17g print → from_chars parse round trip bit-for-bit.
+    profile_cache reloaded(path);
+    EXPECT_EQ(reloaded.size(), 1u);
+    const auto hit = reloaded.lookup("dumbbell/64/s1/v1");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(bitwise_equal(*hit, p));
+    EXPECT_EQ(hit->to_json(), p.to_json());
+    EXPECT_FALSE(reloaded.lookup("dumbbell/64/s2/v1").has_value());
+    std::remove(path.c_str());
+}
+
+TEST(ProfileCache, LaterLinesWin) {
+    const std::string path = temp_path("upsert");
+    std::remove(path.c_str());
+
+    graph_profile p1 = profile(make_cycle(16));
+    graph_profile p2 = p1;
+    p2.mixing_time += 17;
+    {
+        profile_cache cache(path);
+        cache.store("k", p1);
+        cache.store("k", p2);
+        EXPECT_EQ(cache.size(), 1u);
+    }
+    profile_cache reloaded(path);
+    const auto hit = reloaded.lookup("k");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->mixing_time, p2.mixing_time);
+    std::remove(path.c_str());
+}
+
+TEST(ProfileCache, CorruptAndStaleLinesAreSkipped) {
+    const std::string path = temp_path("corrupt");
+    std::remove(path.c_str());
+
+    const graph_profile good = profile(make_cycle(16));
+    {
+        profile_cache cache(path);
+        cache.store("good", good);
+    }
+    {
+        // Hand-append garbage, a version from the future, and a
+        // structurally valid object missing required fields.
+        std::ofstream out(path, std::ios::app);
+        out << "not json at all {{{\n";
+        out << "{\"key\":\"stale\",\"version\":999,\"profile\":" << good.to_json()
+            << "}\n";
+        out << "{\"key\":\"incomplete\",\"version\":1,\"profile\":{\"n\":4}}\n";
+    }
+    profile_cache reloaded(path);
+    EXPECT_EQ(reloaded.size(), 1u);
+    EXPECT_TRUE(reloaded.lookup("good").has_value());
+    EXPECT_FALSE(reloaded.lookup("stale").has_value());
+    EXPECT_FALSE(reloaded.lookup("incomplete").has_value());
+    std::remove(path.c_str());
+}
+
+TEST(ProfileCache, MissingFileIsEmptyAndUnwritablePathThrows) {
+    profile_cache empty(temp_path("never_created_nonexistent"));
+    EXPECT_EQ(empty.size(), 0u);
+
+    profile_cache bad("/nonexistent_dir_anole/cache.jsonl");
+    EXPECT_THROW(bad.store("k", profile(make_cycle(16))), error);
+}
+
+TEST(ProfileCacheRunner, SecondRunnerComputesNothing) {
+    const std::string path = temp_path("runner");
+    std::remove(path.c_str());
+
+    const family_spec spec{graph_family::dumbbell, 64, 1};
+    graph_profile first;
+    {
+        scenario_runner runner(2);
+        runner.set_profile_cache(path);
+        const graph& g = runner.materialize(spec);
+        first = runner.profile_for(g);
+        EXPECT_EQ(runner.fresh_profiles(), 1u);
+        // Memory hit on repeat: still exactly one fresh compute.
+        (void)runner.profile_for(g);
+        EXPECT_EQ(runner.fresh_profiles(), 1u);
+    }
+    {
+        // New process stand-in: cold memory, warm disk.
+        scenario_runner runner(2);
+        runner.set_profile_cache(path);
+        const graph_profile& again = runner.profile_for(runner.materialize(spec));
+        EXPECT_EQ(runner.fresh_profiles(), 0u);
+        EXPECT_TRUE(bitwise_equal(again, first));
+    }
+    {
+        // Without the cache attached the same profile is recomputed —
+        // and matches, because profile() is deterministic.
+        scenario_runner runner(2);
+        const graph_profile& cold = runner.profile_for(runner.materialize(spec));
+        EXPECT_EQ(runner.fresh_profiles(), 1u);
+        EXPECT_TRUE(bitwise_equal(cold, first));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ProfileCacheRunner, BorrowedGraphsBypassTheDiskCache) {
+    const std::string path = temp_path("borrowed");
+    std::remove(path.c_str());
+
+    const graph g = make_cycle(32);
+    scenario_runner runner(2);
+    runner.set_profile_cache(path);
+    (void)runner.profile_for(runner.materialize(&g));
+    EXPECT_EQ(runner.fresh_profiles(), 1u);
+
+    // No (family, n, seed) identity → nothing may have been persisted.
+    profile_cache disk(path);
+    EXPECT_EQ(disk.size(), 0u);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace anole
