@@ -23,12 +23,24 @@
 //   --topology-seed N  instance seed for generated families (default 1)
 //   --dry-run          print the expansion size and exit
 //   --csv --json --jobs N   as in every other bench (see bench/common.h)
+//
+// Fleet modes (docs/FLEET.md) — many worker processes, one campaign:
+//   --worker ID        run as a fleet worker: lease topology groups from
+//                      <out>.fleet/, append records to a private shard
+//   --lease-ttl N      seconds before a silent worker's lease is
+//                      reclaimable (default 60)
+//   --merge            fold <out> + every shard into the canonical
+//                      ledger (byte-identical to a single-worker run)
+//   --report FILE.html write the self-contained HTML report (sim/report.h)
+//                      after running / merging
 #include <algorithm>
 #include <fstream>
 #include <sstream>
 
 #include "bench/common.h"
 #include "sim/campaign.h"
+#include "sim/fleet.h"
+#include "sim/report.h"
 
 using namespace anole;
 using namespace anole::bench;
@@ -43,6 +55,7 @@ namespace {
         "    [--out FILE | --no-out] [--profile-cache FILE]\n"
         "    [--base-seed N] [--topology-seed N]\n"
         "    [--jobs N] [--csv] [--json] [--dry-run]\n"
+        "    [--worker ID [--lease-ttl N] | --merge] [--report FILE.html]\n"
         "families: any graph_family name or alias (ws, ba, rgg, caveman,\n"
         "er, grid, tree); variants: flood_max|flood, gilbert, irrevocable,\n"
         "revocable, cautious_broadcast|cautious; dynamics: static, rewire,\n"
@@ -98,8 +111,10 @@ int main(int argc, char** argv) {
 
     bool emit_csv = false, emit_json = false, dry_run = false, no_out = false;
     bool seeds_set = false, base_seed_set = false, topology_seed_set = false;
+    bool worker_mode = false, merge_mode = false;
     std::size_t jobs = 0;
-    std::string out_flag, profile_cache_path;
+    std::uint64_t lease_ttl = 60;
+    std::string out_flag, profile_cache_path, worker_id, report_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -186,6 +201,15 @@ int main(int argc, char** argv) {
             spec.topology_seed =
                 parse_u64(need_value(argc, argv, i), "--topology-seed");
             topology_seed_set = true;
+        } else if (a == "--worker") {
+            worker_mode = true;
+            worker_id = need_value(argc, argv, i);
+        } else if (a == "--lease-ttl") {
+            lease_ttl = parse_u64(need_value(argc, argv, i), "--lease-ttl");
+        } else if (a == "--merge") {
+            merge_mode = true;
+        } else if (a == "--report") {
+            report_path = need_value(argc, argv, i);
         } else if (a == "--jobs") {
             jobs = static_cast<std::size_t>(parse_u64(need_value(argc, argv, i), "--jobs"));
         } else if (a == "--csv") {
@@ -231,6 +255,66 @@ int main(int argc, char** argv) {
         return 0;
     }
 
+    if (worker_mode && merge_mode) {
+        std::fprintf(stderr, "error: --worker and --merge are exclusive\n");
+        return 2;
+    }
+    if ((worker_mode || merge_mode) && spec.output.empty()) {
+        std::fprintf(stderr, "error: fleet modes need a ledger (--out, not "
+                             "--no-out)\n");
+        return 2;
+    }
+
+    if (merge_mode) {
+        try {
+            const merge_report mr = merge_fleet(spec);
+            std::printf("merge: %zu shards, %zu records, covering %zu/%zu units "
+                        "(%zu duplicates, %zu foreign)\n",
+                        mr.shards, mr.records, mr.covered, mr.total_units,
+                        mr.duplicates, mr.foreign);
+            const auto records = load_campaign_ledger(spec.output);
+            options opt;
+            opt.csv = emit_csv;
+            opt.json = emit_json;
+            emit(campaign_table(records), opt, "CAMPAIGN: aggregate by cell");
+            if (!report_path.empty()) {
+                report_options ro;
+                ro.expected_units = mr.total_units;
+                ro.jobs = jobs;
+                write_campaign_report(report_path, records, ro);
+                std::printf("report: %s\n", report_path.c_str());
+            }
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+        return 0;
+    }
+
+    if (worker_mode) {
+        scenario_runner wrunner(jobs);
+        if (!profile_cache_path.empty()) {
+            wrunner.set_profile_cache(profile_cache_path);
+        }
+        fleet_options fopt;
+        fopt.worker_id = worker_id;
+        fopt.lease_ttl = lease_ttl;
+        try {
+            const fleet_report fr = run_fleet_worker(spec, wrunner, fopt);
+            std::printf("worker %s: %zu groups claimed (%zu reclaimed), "
+                        "%zu executed, %zu skipped, %zu failed, %zu left "
+                        "leased; shard %s\n",
+                        fr.worker_id.c_str(), fr.groups_claimed,
+                        fr.leases_reclaimed, fr.executed, fr.skipped, fr.failed,
+                        fr.left_leased, fr.shard.c_str());
+            std::printf("profiles: %zu fresh\n", wrunner.fresh_profiles());
+            return fr.failed == 0 ? 0 : 1;
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
+
     scenario_runner runner(jobs);
     if (!profile_cache_path.empty()) runner.set_profile_cache(profile_cache_path);
     campaign_report report;
@@ -257,6 +341,18 @@ int main(int argc, char** argv) {
     } else {
         std::printf("profiles: %zu fresh (cache: %s)\n", runner.fresh_profiles(),
                     profile_cache_path.c_str());
+    }
+    if (!report_path.empty()) {
+        try {
+            report_options ro;
+            ro.expected_units = units.size();
+            ro.jobs = jobs;
+            write_campaign_report(report_path, report.records, ro);
+            std::printf("report: %s\n", report_path.c_str());
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
     }
     return report.failed == 0 ? 0 : 1;
 }

@@ -1,0 +1,292 @@
+#include "graph/layout.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "sim/thread_pool.h"
+#include "util/rng.h"
+
+namespace anole {
+
+// --- quadtree ---------------------------------------------------------------
+
+void bh_quadtree::build(std::span<const layout_point> pts) {
+    pts_ = pts;
+    cells_.clear();
+    if (pts.empty()) return;
+
+    double minx = std::numeric_limits<double>::infinity(), maxx = -minx;
+    double miny = minx, maxy = maxx;
+    for (const layout_point& p : pts) {
+        minx = std::min(minx, p.x);
+        maxx = std::max(maxx, p.x);
+        miny = std::min(miny, p.y);
+        maxy = std::max(maxy, p.y);
+    }
+    cell root;
+    root.cx = (minx + maxx) / 2;
+    root.cy = (miny + maxy) / 2;
+    // Square root cell; the epsilon keeps boundary points strictly inside
+    // so the quadrant test never oscillates.
+    root.half = std::max({maxx - minx, maxy - miny, 1e-12}) / 2 * (1 + 1e-9);
+    cells_.reserve(pts.size() * 2 + 16);
+    cells_.push_back(root);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        insert_into(0, static_cast<std::int32_t>(i), 0);
+    }
+}
+
+void bh_quadtree::insert_into(std::int32_t c, std::int32_t i, int depth) {
+    cells_[c].mass += 1;
+    cells_[c].mx += pts_[static_cast<std::size_t>(i)].x;
+    cells_[c].my += pts_[static_cast<std::size_t>(i)].y;
+    if (cells_[c].mass == 1) {  // first body in a fresh cell
+        cells_[c].body = i;
+        return;
+    }
+    if (cells_[c].body == kAggregate) return;  // depth-capped pile-up
+    if (cells_[c].body >= 0) {
+        if (depth >= kMaxDepth) {
+            // Coincident (or near-coincident beyond double resolution)
+            // bodies: fold into an aggregate leaf instead of splitting.
+            cells_[c].body = kAggregate;
+            return;
+        }
+        // Occupied leaf becomes internal: push the resident body down one
+        // level (its mass is already counted in this cell).
+        const std::int32_t other = cells_[c].body;
+        cells_[c].body = -1;
+        descend(c, other, depth);
+    }
+    descend(c, i, depth);
+}
+
+void bh_quadtree::descend(std::int32_t c, std::int32_t i, int depth) {
+    const layout_point& p = pts_[static_cast<std::size_t>(i)];
+    const int q = (p.x >= cells_[c].cx ? 1 : 0) | (p.y >= cells_[c].cy ? 2 : 0);
+    std::int32_t ch = cells_[c].child[q];
+    if (ch < 0) {
+        ch = static_cast<std::int32_t>(cells_.size());
+        cell child;
+        const double h = cells_[c].half / 2;
+        child.cx = cells_[c].cx + ((q & 1) != 0 ? h : -h);
+        child.cy = cells_[c].cy + ((q & 2) != 0 ? h : -h);
+        child.half = h;
+        cells_.push_back(child);  // may reallocate: re-index below
+        cells_[c].child[q] = ch;
+    }
+    insert_into(ch, i, depth + 1);
+}
+
+double bh_quadtree::total_mass() const noexcept {
+    return cells_.empty() ? 0.0 : cells_[0].mass;
+}
+
+layout_point bh_quadtree::centroid() const {
+    if (cells_.empty() || cells_[0].mass == 0) return {0, 0};
+    return {cells_[0].mx / cells_[0].mass, cells_[0].my / cells_[0].mass};
+}
+
+layout_point bh_quadtree::repulsion(layout_point p, std::size_t self, double k,
+                                    double theta,
+                                    std::vector<std::int32_t>& scratch) const {
+    layout_point f{0, 0};
+    if (cells_.empty()) return f;
+    const double k2 = k * k;
+    scratch.clear();
+    scratch.push_back(0);
+    while (!scratch.empty()) {
+        const cell& c = cells_[static_cast<std::size_t>(scratch.back())];
+        scratch.pop_back();
+        if (c.mass <= 0) continue;
+        double mass = c.mass;
+        double comx = c.mx / c.mass, comy = c.my / c.mass;
+        if (c.body >= 0) {  // single-body leaf
+            if (static_cast<std::size_t>(c.body) == self) continue;
+        } else if (c.body != kAggregate) {  // internal: maybe open
+            const double dx0 = p.x - comx, dy0 = p.y - comy;
+            const double d2 = dx0 * dx0 + dy0 * dy0;
+            const double width = 2 * c.half;
+            if (width * width > theta * theta * d2) {
+                for (const std::int32_t ch : c.child) {
+                    if (ch >= 0) scratch.push_back(ch);
+                }
+                continue;
+            }
+        } else if (self != npos) {
+            // Aggregate leaf that may contain the probe body itself (it
+            // cannot be opened): subtract the self contribution so the
+            // remainder acts as a point mass.
+            const layout_point& sp = pts_[self];
+            if (std::abs(sp.x - c.cx) <= c.half && std::abs(sp.y - c.cy) <= c.half) {
+                mass -= 1;
+                if (mass <= 0) continue;
+                comx = (c.mx - sp.x) / mass;
+                comy = (c.my - sp.y) / mass;
+            }
+        }
+        const double dx = p.x - comx, dy = p.y - comy;
+        // Softened so exactly coincident survivors produce a large-but-
+        // finite kick (the temperature cap bounds it anyway).
+        const double d2 = std::max(dx * dx + dy * dy, 1e-12);
+        const double scale = k2 * mass / d2;  // (k²/d)·(1/d) per unit delta
+        f.x += dx * scale;
+        f.y += dy * scale;
+    }
+    return f;
+}
+
+layout_point bh_quadtree::repulsion(layout_point p, std::size_t self, double k,
+                                    double theta) const {
+    std::vector<std::int32_t> scratch;
+    scratch.reserve(64);
+    return repulsion(p, self, k, theta, scratch);
+}
+
+// --- force_layout -----------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kLayoutTag = 0x6c61796f75743264ULL;  // "layout2d"
+
+std::size_t auto_iterations(std::size_t n) {
+    if (n <= 2048) return 100;
+    if (n <= 32768) return 50;
+    return 30;
+}
+
+}  // namespace
+
+std::vector<layout_point> force_layout(const graph& g, const layout_options& opt) {
+    const std::size_t n = g.num_nodes();
+    std::vector<layout_point> pts(n);
+    if (n == 0) return pts;
+    if (n == 1) {
+        pts[0] = {0.5, 0.5};
+        return pts;
+    }
+    // Initial placement depends on (seed, node index) only — stable under
+    // any iteration sharding.
+    for (std::size_t u = 0; u < n; ++u) {
+        xoshiro256ss rng(derive_seed(opt.seed, u, kLayoutTag));
+        pts[u] = {rng.uniform01(), rng.uniform01()};
+    }
+
+    const double k = std::sqrt(1.0 / static_cast<double>(n));
+    const std::size_t iters =
+        opt.iterations != 0 ? opt.iterations : auto_iterations(n);
+    std::vector<layout_point> disp(n);
+    bh_quadtree tree;
+
+    constexpr std::size_t kBlock = 2048;
+    const std::size_t blocks = (n + kBlock - 1) / kBlock;
+
+    for (std::size_t it = 0; it < iters; ++it) {
+        tree.build(pts);
+        // Linear cooling from a tenth of the frame to a floor that still
+        // lets late iterations untangle local crossings.
+        const double t =
+            std::max(0.1 * (1.0 - static_cast<double>(it) / static_cast<double>(iters)),
+                     1e-3);
+        const auto do_block = [&](std::size_t b) {
+            std::vector<std::int32_t> scratch;
+            scratch.reserve(128);
+            const std::size_t lo = b * kBlock, hi = std::min(lo + kBlock, n);
+            for (std::size_t u = lo; u < hi; ++u) {
+                layout_point f =
+                    tree.repulsion(pts[u], u, k, opt.theta, scratch);
+                for (const node_id v : g.neighbors(static_cast<node_id>(u))) {
+                    const double dx = pts[u].x - pts[v].x;
+                    const double dy = pts[u].y - pts[v].y;
+                    const double d = std::sqrt(dx * dx + dy * dy);
+                    // Attraction d²/k along the edge: displacement −Δ·d/k.
+                    f.x -= dx * d / k;
+                    f.y -= dy * d / k;
+                }
+                const double len = std::sqrt(f.x * f.x + f.y * f.y);
+                if (len > t) {
+                    f.x *= t / len;
+                    f.y *= t / len;
+                }
+                disp[u] = f;
+            }
+        };
+        if (opt.pool != nullptr && opt.pool->size() > 1 && blocks > 1) {
+            opt.pool->parallel_for(blocks, do_block);
+        } else {
+            for (std::size_t b = 0; b < blocks; ++b) do_block(b);
+        }
+        for (std::size_t u = 0; u < n; ++u) {
+            pts[u].x += disp[u].x;
+            pts[u].y += disp[u].y;
+        }
+    }
+
+    // Normalize into [0, 1]² for renderers.
+    double minx = pts[0].x, maxx = pts[0].x, miny = pts[0].y, maxy = pts[0].y;
+    for (const layout_point& p : pts) {
+        minx = std::min(minx, p.x);
+        maxx = std::max(maxx, p.x);
+        miny = std::min(miny, p.y);
+        maxy = std::max(maxy, p.y);
+    }
+    const double span = std::max({maxx - minx, maxy - miny, 1e-12});
+    for (layout_point& p : pts) {
+        p.x = (p.x - minx) / span;
+        p.y = (p.y - miny) / span;
+    }
+    return pts;
+}
+
+// --- SVG --------------------------------------------------------------------
+
+std::string layout_svg(const graph& g, std::span<const layout_point> pts,
+                       const layout_svg_options& opt) {
+    require(pts.size() == g.num_nodes(), "layout_svg: pts/graph size mismatch");
+    const double w = opt.width, h = opt.height, m = opt.margin;
+    const auto sx = [&](double x) { return m + x * (w - 2 * m); };
+    const auto sy = [&](double y) { return m + y * (h - 2 * m); };
+
+    std::string out;
+    out.reserve(1 << 16);
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 %.0f %.0f\" "
+                  "width=\"%.0f\" height=\"%.0f\" role=\"img\">",
+                  w, h, w, h);
+    out += buf;
+
+    const auto edges = g.edge_list();
+    const std::size_t estride =
+        opt.max_edges == 0 ? 1 : std::max<std::size_t>(1, edges.size() / opt.max_edges);
+    std::snprintf(buf, sizeof buf,
+                  "<g class=\"ge\" stroke=\"%s\" stroke-width=\"0.7\" "
+                  "stroke-opacity=\"0.55\">",
+                  opt.edge_color.c_str());
+    out += buf;
+    for (std::size_t i = 0; i < edges.size(); i += estride) {
+        const auto [u, v] = edges[i];
+        std::snprintf(buf, sizeof buf,
+                      "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\"/>",
+                      sx(pts[u].x), sy(pts[u].y), sx(pts[v].x), sy(pts[v].y));
+        out += buf;
+    }
+    out += "</g>";
+
+    const std::size_t nstride =
+        opt.max_nodes == 0 ? 1 : std::max<std::size_t>(1, pts.size() / opt.max_nodes);
+    std::snprintf(buf, sizeof buf, "<g class=\"gn\" fill=\"%s\">",
+                  opt.node_color.c_str());
+    out += buf;
+    for (std::size_t u = 0; u < pts.size(); u += nstride) {
+        std::snprintf(buf, sizeof buf, "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\"/>",
+                      sx(pts[u].x), sy(pts[u].y), opt.node_radius);
+        out += buf;
+    }
+    out += "</g></svg>";
+    return out;
+}
+
+}  // namespace anole

@@ -1,0 +1,127 @@
+// anole — pool-based Barnes–Hut force-directed layout.
+//
+// The campaign HTML report (sim/report.h) and the topology gallery need
+// graph thumbnails at zoo scale. Graphviz DOT rendering — the PR-2 path —
+// is O(V²) in practice and external; this module replaces it with an
+// in-tree Fruchterman–Reingold spring embedder whose repulsion pass runs
+// through a Barnes–Hut quadtree, so one iteration costs O(V log V + E)
+// and a 10⁵-node instance lays out in seconds.
+//
+// Determinism contract (the same one the engine and Lanczos keep):
+//   * initial positions derive from (seed, node index) alone;
+//   * the quadtree is built by inserting bodies in index order;
+//   * per-node force accumulation reads shared immutable state (positions
+//     + tree) and writes only its own displacement slot, so sharding the
+//     force pass over a thread_pool is bitwise-identical for every pool
+//     size — seed-stable coordinates across `--jobs`, test-enforced.
+//
+// The quadtree lives in one flat std::vector pool (no per-cell
+// allocation); cells hold aggregate mass and a center-of-mass sum, and a
+// depth cap turns coincident points into aggregate leaves instead of
+// recursing forever. theta = 0 degenerates to the exact O(V²) pairwise
+// sum, which is what the closed-form sanity tests compare against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace anole {
+
+class thread_pool;  // sim/thread_pool.h; borrowed, never owned
+
+struct layout_point {
+    double x = 0;
+    double y = 0;
+};
+
+// --- Barnes–Hut quadtree ----------------------------------------------------
+
+class bh_quadtree {
+public:
+    // Builds over `pts` (borrowed; must outlive force queries). Bodies
+    // are inserted in index order — deterministic pool layout.
+    void build(std::span<const layout_point> pts);
+
+    [[nodiscard]] double total_mass() const noexcept;
+    [[nodiscard]] layout_point centroid() const;
+    [[nodiscard]] std::size_t cell_count() const noexcept { return cells_.size(); }
+
+    // Approximate repulsive force k²·Σ_j m_j·(p − com_j)/|p − com_j|² on a
+    // probe at p, opening cells while width/dist > theta. `self` (an index
+    // into the build span, or npos) is excluded from the sum. theta = 0
+    // yields the exact pairwise sum. `scratch` is the traversal stack —
+    // callers in a hot loop reuse one to avoid per-query allocation.
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    [[nodiscard]] layout_point repulsion(layout_point p, std::size_t self, double k,
+                                         double theta,
+                                         std::vector<std::int32_t>& scratch) const;
+    [[nodiscard]] layout_point repulsion(layout_point p, std::size_t self, double k,
+                                         double theta) const;
+
+private:
+    struct cell {
+        double cx = 0, cy = 0, half = 0;  // square center + half-width
+        double mass = 0;                  // bodies in this subtree
+        double mx = 0, my = 0;            // Σ position (divide by mass for COM)
+        std::int32_t child[4] = {-1, -1, -1, -1};
+        // >= 0: single-body leaf; kAggregate: coincident bodies folded at
+        // the depth cap; -1: internal or empty.
+        std::int32_t body = -1;
+    };
+    static constexpr std::int32_t kAggregate = -2;
+    static constexpr int kMaxDepth = 48;
+
+    void insert_into(std::int32_t c, std::int32_t i, int depth);
+    void descend(std::int32_t c, std::int32_t i, int depth);
+
+    std::vector<cell> cells_;
+    std::span<const layout_point> pts_;
+};
+
+// --- force-directed layout --------------------------------------------------
+
+struct layout_options {
+    // 0 = auto: enough iterations for small graphs to settle, fewer at
+    // scale where each one costs more (the report only needs shape).
+    std::size_t iterations = 0;
+    // Barnes–Hut opening angle; larger = faster/coarser. 0 = exact.
+    double theta = 0.85;
+    std::uint64_t seed = 1;
+    // Shards the per-node force pass; nullptr = serial. Bitwise-identical
+    // results for every pool size.
+    thread_pool* pool = nullptr;
+};
+
+// Deterministic Fruchterman–Reingold embedding of g into [0, 1]², BH
+// repulsion + CSR-edge attraction + linear cooling. O(iterations ·
+// (V log V + E)) time, O(V) memory beyond the tree pool.
+[[nodiscard]] std::vector<layout_point> force_layout(const graph& g,
+                                                     const layout_options& opt = {});
+
+// --- SVG rendering ----------------------------------------------------------
+
+struct layout_svg_options {
+    double width = 320;
+    double height = 240;
+    double margin = 10;
+    // Drawing 10⁵ nodes / 10⁶ edges as DOM elements would defeat the
+    // point of a fast layout; past the caps a deterministic stride sample
+    // is drawn instead (every ⌈m/max_edges⌉-th edge, in edge-list order).
+    std::size_t max_edges = 4000;
+    std::size_t max_nodes = 20000;
+    double node_radius = 1.6;
+    // Presentation attributes; the report's stylesheet overrides them via
+    // the "ge"/"gn" classes so thumbnails follow light/dark mode.
+    std::string edge_color = "#c3c2b7";
+    std::string node_color = "#2a78d6";
+};
+
+// One self-contained <svg> element (no external references).
+[[nodiscard]] std::string layout_svg(const graph& g, std::span<const layout_point> pts,
+                                     const layout_svg_options& opt = {});
+
+}  // namespace anole

@@ -11,6 +11,41 @@
 
 namespace anole {
 
+// --- ledger schema ----------------------------------------------------------
+
+std::string campaign_schema_header_line() {
+    return "{\"schema\":\"anole-campaign\",\"version\":" +
+           std::to_string(campaign_schema_version) + "}";
+}
+
+std::optional<int> parse_campaign_schema_header(const std::string& line) {
+    try {
+        const json_value v = json_parse(line);
+        if (!v.is_object() || !v.contains("schema")) return std::nullopt;
+        if (v.at("schema").as_string() != "anole-campaign") return std::nullopt;
+        return static_cast<int>(v.at("version").as_uint());
+    } catch (const error&) {
+        return std::nullopt;
+    }
+}
+
+void check_campaign_ledger_schema(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return;  // missing file: nothing to reject
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        const auto version = parse_campaign_schema_header(line);
+        if (version.has_value() && *version != campaign_schema_version) {
+            throw error("campaign ledger '" + path + "': schema version " +
+                        std::to_string(*version) + " is incompatible (this build "
+                        "reads version " + std::to_string(campaign_schema_version) +
+                        ")");
+        }
+        return;  // only the first non-empty line can be a header
+    }
+}
+
 // --- declaration ------------------------------------------------------------
 
 void campaign_spec::validate() const {
@@ -274,9 +309,27 @@ text_table campaign_table(const std::vector<campaign_record>& records) {
 
 // --- execution --------------------------------------------------------------
 
-namespace {
+std::vector<campaign_record> load_campaign_ledger(const std::string& path) {
+    std::vector<campaign_record> records;
+    if (path.empty()) return records;
+    check_campaign_ledger_schema(path);
+    std::ifstream in(path);
+    if (!in) return records;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        if (parse_campaign_schema_header(line).has_value()) continue;
+        try {
+            records.push_back(campaign_record::from_json(line));
+        } catch (const error&) {
+            continue;
+        }
+    }
+    return records;
+}
 
-campaign_record make_record(const campaign_unit& unit, const scenario_result& res) {
+campaign_record make_campaign_record(const campaign_unit& unit,
+                                     const scenario_result& res) {
     campaign_record rec;
     rec.unit = unit;
     rec.nodes = res.profile.n;
@@ -301,22 +354,51 @@ campaign_record make_record(const campaign_unit& unit, const scenario_result& re
     return rec;
 }
 
+std::vector<campaign_record> run_campaign_units(
+    const std::vector<campaign_unit>& units, scenario_runner& runner) {
+    std::vector<campaign_record> records;
+    if (units.empty()) return records;
+    for (const campaign_unit& u : units) {
+        require(u.family == units.front().family && u.n == units.front().n &&
+                    u.topology_seed == units.front().topology_seed,
+                "run_campaign_units: units must share one topology group");
+    }
+    // Materialize the group's topology up front (cached — run_batch reuses
+    // the same instance) so per-variant budgets can read the actual edge
+    // count.
+    const family_spec fs{units.front().family, units.front().n,
+                         units.front().topology_seed};
+    const graph& topo = runner.materialize(fs);
+
+    std::vector<scenario> batch;
+    batch.reserve(units.size());
+    for (const campaign_unit& u : units) {
+        scenario s;
+        s.label = u.key();
+        s.topology = family_spec{u.family, u.n, u.topology_seed};
+        s.algo = campaign_default_config(u.variant, u.n, topo.num_edges());
+        s.seed = u.seed;
+        s.repetitions = 1;
+        s.dynamics = u.dynamics;
+        batch.push_back(std::move(s));
+    }
+    const std::vector<scenario_result> results = runner.run_batch(batch);
+    records.reserve(units.size());
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        records.push_back(make_campaign_record(units[i], results[i]));
+    }
+    return records;
+}
+
+namespace {
+
 // Records already present in the output file, keyed for resume. Torn or
 // foreign lines are skipped — those units simply re-run.
 std::map<std::string, campaign_record> load_completed(const std::string& path) {
     std::map<std::string, campaign_record> done;
-    if (path.empty()) return done;
-    std::ifstream in(path);
-    if (!in) return done;
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.empty()) continue;
-        try {
-            campaign_record rec = campaign_record::from_json(line);
-            done.emplace(rec.unit.key(), std::move(rec));
-        } catch (const error&) {
-            continue;
-        }
+    for (campaign_record& rec : load_campaign_ledger(path)) {
+        std::string k = rec.unit.key();
+        done.insert_or_assign(std::move(k), std::move(rec));
     }
     return done;
 }
@@ -335,9 +417,11 @@ campaign_report run_campaign(const campaign_spec& spec, scenario_runner& runner)
         // next record into one unparseable line. Start a fresh line
         // first (blank lines are skipped on load).
         bool needs_newline = false;
+        bool is_empty = true;
         {
             std::ifstream probe(spec.output, std::ios::binary | std::ios::ate);
             if (probe && probe.tellg() > 0) {
+                is_empty = false;
                 probe.seekg(-1, std::ios::end);
                 char last = '\n';
                 probe.get(last);
@@ -347,6 +431,10 @@ campaign_report run_campaign(const campaign_spec& spec, scenario_runner& runner)
         out.open(spec.output, std::ios::app);
         require(out.good(), "campaign: cannot open output '" + spec.output + "'");
         if (needs_newline) out << "\n";
+        // Fresh ledgers start with the schema header; resumed ones keep
+        // whatever they have (legacy headerless files stay headerless so
+        // they remain byte-appendable by older builds too).
+        if (is_empty) out << campaign_schema_header_line() << "\n";
     }
 
     campaign_report report;
@@ -359,42 +447,22 @@ campaign_report run_campaign(const campaign_spec& spec, scenario_runner& runner)
                               std::max<std::size_t>(spec.dynamics.size(), 1) *
                               spec.seeds;
     for (std::size_t base = 0; base < units.size(); base += group) {
-        std::vector<const campaign_unit*> pending;
+        std::vector<campaign_unit> pending;
         for (std::size_t i = base; i < base + group; ++i) {
             if (done.count(units[i].key())) {
                 ++report.skipped;
             } else {
-                pending.push_back(&units[i]);
+                pending.push_back(units[i]);
             }
         }
         if (pending.empty()) continue;
 
-        // Materialize the group's topology up front (cached — run_batch
-        // reuses the same instance) so per-variant budgets can read the
-        // actual edge count.
-        const family_spec fs{pending.front()->family, pending.front()->n,
-                             spec.topology_seed};
-        const graph& topo = runner.materialize(fs);
-
-        std::vector<scenario> batch;
-        batch.reserve(pending.size());
-        for (const campaign_unit* u : pending) {
-            scenario s;
-            s.label = u->key();
-            s.topology = family_spec{u->family, u->n, spec.topology_seed};
-            s.algo = campaign_default_config(u->variant, u->n, topo.num_edges());
-            s.seed = u->seed;
-            s.repetitions = 1;
-            s.dynamics = u->dynamics;
-            batch.push_back(std::move(s));
-        }
-        const std::vector<scenario_result> results = runner.run_batch(batch);
-        for (std::size_t i = 0; i < pending.size(); ++i) {
-            campaign_record rec = make_record(*pending[i], results[i]);
+        for (campaign_record& rec : run_campaign_units(pending, runner)) {
             ++report.executed;
             if (!rec.ok) ++report.failed;
             if (out.is_open()) out << rec.to_json() << "\n";
-            fresh.emplace(rec.unit.key(), std::move(rec));
+            std::string k = rec.unit.key();
+            fresh.emplace(std::move(k), std::move(rec));
         }
         if (out.is_open()) out.flush();
     }

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,29 @@
 #include "util/table.h"
 
 namespace anole {
+
+// --- ledger schema ----------------------------------------------------------
+//
+// Every ledger (and fleet shard — sim/fleet.h) starts with one schema
+// header line so merge/report tooling can reject files written by an
+// incompatible build with a clear error instead of silently mis-reading
+// them. Ledgers from before the header existed ("legacy", version 0) are
+// still accepted on resume — their record lines parse unchanged.
+
+inline constexpr int campaign_schema_version = 1;
+
+// The header line (no trailing newline):
+//   {"schema":"anole-campaign","version":1}
+[[nodiscard]] std::string campaign_schema_header_line();
+
+// Classifies one line: the version if it is a schema header, nullopt
+// otherwise (record line, torn line, legacy garbage — caller decides).
+[[nodiscard]] std::optional<int> parse_campaign_schema_header(const std::string& line);
+
+// Throws anole::error naming `path` if its first non-empty line is a
+// schema header of a different version. Missing/empty/headerless files
+// pass (legacy ledgers keep resuming).
+void check_campaign_ledger_schema(const std::string& path);
 
 // --- declaration ------------------------------------------------------------
 
@@ -149,7 +173,26 @@ struct campaign_report {
 // counts, election rate, message/round statistics, profile columns.
 [[nodiscard]] text_table campaign_table(const std::vector<campaign_record>& records);
 
+// All parseable records of a ledger/shard file, in file order (schema
+// header checked and skipped; torn/foreign lines dropped). Missing file
+// = empty vector.
+[[nodiscard]] std::vector<campaign_record> load_campaign_ledger(
+    const std::string& path);
+
 // --- execution --------------------------------------------------------------
+
+// One record from one completed unit (the JSONL line run_campaign and the
+// fleet workers stream). Exposed so sim/fleet.h produces byte-identical
+// records to the single-process path.
+[[nodiscard]] campaign_record make_campaign_record(const campaign_unit& unit,
+                                                   const scenario_result& res);
+
+// Runs `units` — which must all belong to one topology group (same
+// family, n, topology_seed) — through the runner, sharing one generated
+// graph and one profile, and returns their records in input order. The
+// group-batch primitive both run_campaign and the fleet workers fan out.
+[[nodiscard]] std::vector<campaign_record> run_campaign_units(
+    const std::vector<campaign_unit>& units, scenario_runner& runner);
 
 // Runs the campaign on `runner` (which supplies the thread pool and the
 // shared topology/profile caches). If spec.output names an existing

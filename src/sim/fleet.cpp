@@ -1,0 +1,373 @@
+#include "sim/fleet.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "util/json.h"
+
+namespace anole {
+
+// --- paths ------------------------------------------------------------------
+
+std::vector<std::string> fleet_paths::shard_files() const {
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir(), ec)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("shard-", 0) == 0 && name.size() > 6 &&
+            name.compare(name.size() - 6, 6, ".jsonl") == 0) {
+            files.push_back(entry.path().string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::string sanitize_worker_id(const std::string& id) {
+    if (id.empty()) return fleet_worker_id();
+    std::string out = id;
+    for (char& c : out) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+        if (!ok) c = '_';
+    }
+    return out;
+}
+
+std::string fleet_worker_id() {
+    // Built with += rather than operator+ to sidestep GCC 12's spurious
+    // -Wrestrict on (const char* + string&&).
+    std::string id = "w";
+    id += std::to_string(static_cast<long>(::getpid()));
+    return id;
+}
+
+// --- leases -----------------------------------------------------------------
+
+std::uint64_t fleet_now() {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::seconds>(
+                                          std::chrono::system_clock::now()
+                                              .time_since_epoch())
+                                          .count());
+}
+
+std::string lease_info::to_json() const {
+    return "{\"owner\":\"" + json_escape(owner) +
+           "\",\"heartbeat\":" + std::to_string(heartbeat) +
+           ",\"ttl\":" + std::to_string(ttl) +
+           ",\"group\":" + std::to_string(group) + "}";
+}
+
+std::optional<lease_info> read_lease(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return std::nullopt;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    try {
+        const json_value v = json_parse(text);
+        lease_info l;
+        l.owner = v.at("owner").as_string();
+        l.heartbeat = v.at("heartbeat").as_uint();
+        l.ttl = v.at("ttl").as_uint();
+        l.group = static_cast<std::size_t>(v.at("group").as_uint());
+        return l;
+    } catch (const error&) {
+        return std::nullopt;  // torn lease: treated as reclaimable
+    }
+}
+
+namespace {
+
+// Atomic whole-file replace; the temp name carries the writer's id so
+// racing claimants never clobber each other's staging file.
+void write_lease_atomic(const std::string& path, const lease_info& l) {
+    const std::string tmp = path + ".tmp-" + sanitize_worker_id(l.owner);
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        require(static_cast<bool>(out), "fleet: cannot open " + tmp);
+        out << l.to_json() << "\n";
+        out.flush();
+        require(static_cast<bool>(out), "fleet: write failed for " + tmp);
+    }
+    require(std::rename(tmp.c_str(), path.c_str()) == 0,
+            "fleet: cannot replace lease " + path);
+}
+
+}  // namespace
+
+bool try_acquire_lease(const std::string& path, const lease_info& mine,
+                       bool* reclaimed) {
+    if (reclaimed != nullptr) *reclaimed = false;
+    // Fresh claim: stage the full lease body in a private file, then
+    // link() it to the lease path — atomic create-exclusive WITH
+    // complete content, so a racing loser can never observe the
+    // winner's lease half-written (and mistake it for a torn one).
+    const std::string stage = path + ".claim-" + sanitize_worker_id(mine.owner);
+    {
+        std::ofstream out(stage, std::ios::trunc);
+        require(static_cast<bool>(out), "fleet: cannot open " + stage);
+        out << mine.to_json() << "\n";
+        out.flush();
+        require(static_cast<bool>(out), "fleet: write failed for " + stage);
+    }
+    if (::link(stage.c_str(), path.c_str()) == 0) {
+        std::remove(stage.c_str());
+        return true;
+    }
+    std::remove(stage.c_str());
+    require(errno == EEXIST, "fleet: cannot create lease " + path);
+
+    const std::optional<lease_info> cur = read_lease(path);
+    if (cur.has_value() && cur->owner == mine.owner) {
+        write_lease_atomic(path, mine);  // refresh our own heartbeat
+        return true;
+    }
+    if (cur.has_value() && !cur->expired(mine.heartbeat)) return false;
+
+    // Expired or torn: take over by atomic rename, then confirm by
+    // reading back — if several claimants raced, exactly one set of
+    // bytes landed last and only that claimant proceeds.
+    write_lease_atomic(path, mine);
+    const std::optional<lease_info> after = read_lease(path);
+    if (after.has_value() && after->owner == mine.owner) {
+        if (reclaimed != nullptr) *reclaimed = true;
+        return true;
+    }
+    return false;
+}
+
+void renew_lease(const std::string& path, const lease_info& mine) {
+    write_lease_atomic(path, mine);
+}
+
+void release_lease(const std::string& path, const std::string& owner) {
+    const std::optional<lease_info> cur = read_lease(path);
+    if (cur.has_value() && cur->owner == owner) std::remove(path.c_str());
+}
+
+// --- worker -----------------------------------------------------------------
+
+namespace {
+
+// Keys of every record in `path` (ledger or shard); empty for missing
+// files. Incompatible schema headers throw — a fleet must not silently
+// re-run (or silently trust) work recorded by an incompatible build.
+void collect_done_keys(const std::string& path, std::set<std::string>& done) {
+    for (const campaign_record& rec : load_campaign_ledger(path)) {
+        done.insert(rec.unit.key());
+    }
+}
+
+std::set<std::string> scan_done(const std::string& ledger, const fleet_paths& paths) {
+    std::set<std::string> done;
+    collect_done_keys(ledger, done);
+    for (const std::string& shard : paths.shard_files()) {
+        collect_done_keys(shard, done);
+    }
+    return done;
+}
+
+}  // namespace
+
+fleet_report run_fleet_worker(const campaign_spec& spec, scenario_runner& runner,
+                              const fleet_options& opt) {
+    spec.validate();
+    require(!spec.output.empty(), "fleet: spec.output must name the ledger");
+    check_campaign_ledger_schema(spec.output);
+
+    const std::vector<campaign_unit> units = expand(spec);
+    const std::size_t group = spec.variants.size() *
+                              std::max<std::size_t>(spec.dynamics.size(), 1) *
+                              spec.seeds;
+    const std::size_t groups = (units.size() + group - 1) / group;
+
+    const fleet_paths paths{spec.output};
+    std::filesystem::create_directories(paths.dir());
+
+    fleet_report report;
+    report.worker_id = sanitize_worker_id(opt.worker_id);
+    report.shard = paths.shard(report.worker_id);
+
+    // Open (or resume) this worker's shard. Same torn-tail discipline as
+    // run_campaign: a killed predecessor with our id may have left a
+    // partial line.
+    bool needs_newline = false;
+    bool shard_empty = true;
+    {
+        std::ifstream probe(report.shard, std::ios::binary | std::ios::ate);
+        if (probe && probe.tellg() > 0) {
+            shard_empty = false;
+            probe.seekg(-1, std::ios::end);
+            char last = '\n';
+            probe.get(last);
+            needs_newline = last != '\n';
+        }
+    }
+    if (!shard_empty) check_campaign_ledger_schema(report.shard);
+    std::ofstream shard(report.shard, std::ios::app);
+    require(shard.good(), "fleet: cannot open shard " + report.shard);
+    if (needs_newline) shard << "\n";
+    if (shard_empty) shard << campaign_schema_header_line() << "\n";
+    shard.flush();
+
+    // Multi-pass: claim whatever is free, re-scan, repeat. A pass that
+    // claims nothing means every pending group is held by a live peer —
+    // that peer finishes it, so this worker is done.
+    for (;;) {
+        std::size_t claimed_this_pass = 0;
+        std::size_t blocked_this_pass = 0;
+        std::set<std::string> done = scan_done(spec.output, paths);
+
+        for (std::size_t g = 0; g < groups; ++g) {
+            const std::size_t lo = g * group;
+            const std::size_t hi = std::min(lo + group, units.size());
+            std::vector<campaign_unit> pending;
+            for (std::size_t i = lo; i < hi; ++i) {
+                if (!done.count(units[i].key())) pending.push_back(units[i]);
+            }
+            if (pending.empty()) continue;
+
+            const std::string lease_path = paths.lease(g);
+            lease_info mine{report.worker_id, fleet_now(), opt.lease_ttl, g};
+            bool reclaimed = false;
+            if (!try_acquire_lease(lease_path, mine, &reclaimed)) {
+                ++blocked_this_pass;
+                continue;
+            }
+            if (reclaimed) ++report.leases_reclaimed;
+            ++report.groups_claimed;
+            ++claimed_this_pass;
+
+            // The claim may have raced a peer that just finished these
+            // units (lease released, records landed between our scan and
+            // our claim): re-filter against a fresh scan before running.
+            std::set<std::string> fresh = scan_done(spec.output, paths);
+            std::vector<campaign_unit> todo;
+            for (const campaign_unit& u : pending) {
+                if (!fresh.count(u.key())) todo.push_back(u);
+            }
+            if (!todo.empty()) {
+                const std::vector<campaign_record> recs =
+                    run_campaign_units(todo, runner);
+                for (const campaign_record& rec : recs) {
+                    ++report.executed;
+                    if (!rec.ok) ++report.failed;
+                    shard << rec.to_json() << "\n";
+                }
+                shard.flush();
+                require(shard.good(), "fleet: write failed for " + report.shard);
+            }
+            release_lease(lease_path, report.worker_id);
+        }
+
+        if (claimed_this_pass == 0) {
+            report.left_leased = blocked_this_pass;
+            break;
+        }
+    }
+
+    // Units someone (possibly a previous run) finished that we never ran.
+    const std::set<std::string> done = scan_done(spec.output, paths);
+    std::size_t recorded = 0;
+    for (const campaign_unit& u : units) {
+        if (done.count(u.key())) ++recorded;
+    }
+    report.skipped = recorded > report.executed ? recorded - report.executed : 0;
+    return report;
+}
+
+// --- merge ------------------------------------------------------------------
+
+namespace {
+
+// The "key" field of one raw record line; nullopt for headers, torn
+// lines and non-record JSON.
+std::optional<std::string> line_key(const std::string& line) {
+    try {
+        const json_value v = json_parse(line);
+        if (!v.is_object() || !v.contains("key")) return std::nullopt;
+        return v.at("key").as_string();
+    } catch (const error&) {
+        return std::nullopt;
+    }
+}
+
+}  // namespace
+
+merge_report merge_fleet(const campaign_spec& spec) {
+    spec.validate();
+    require(!spec.output.empty(), "fleet merge: spec.output must name the ledger");
+
+    const std::vector<campaign_unit> units = expand(spec);
+    std::map<std::string, std::size_t> unit_index;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        unit_index.emplace(units[i].key(), i);
+    }
+
+    const fleet_paths paths{spec.output};
+    std::vector<std::string> sources;
+    {
+        std::ifstream probe(spec.output);
+        if (probe) sources.push_back(spec.output);
+    }
+    std::vector<std::string> shards = paths.shard_files();
+    sources.insert(sources.end(), shards.begin(), shards.end());
+
+    merge_report report;
+    report.shards = shards.size();
+    report.total_units = units.size();
+
+    // Raw line bytes per key — records are NEVER re-serialized (default
+    // double formatting would perturb them); later sources win.
+    std::map<std::string, std::string> covered;   // expansion keys
+    std::map<std::string, std::string> foreign;   // everything else
+    for (const std::string& src : sources) {
+        check_campaign_ledger_schema(src);
+        std::ifstream in(src);
+        require(static_cast<bool>(in), "fleet merge: cannot read " + src);
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty()) continue;
+            if (parse_campaign_schema_header(line).has_value()) continue;
+            const std::optional<std::string> key = line_key(line);
+            if (!key.has_value()) continue;  // torn tail: that unit re-runs
+            auto& bucket = unit_index.count(*key) ? covered : foreign;
+            auto [it, inserted] = bucket.insert_or_assign(*key, line);
+            (void)it;
+            if (!inserted) ++report.duplicates;
+        }
+    }
+    report.covered = covered.size();
+    report.foreign = foreign.size();
+    report.records = covered.size() + foreign.size();
+
+    // Canonical rewrite: header, covered lines in expansion order,
+    // foreign lines sorted by key (std::map iteration), atomic rename.
+    const std::string tmp = spec.output + ".merge-tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        require(static_cast<bool>(out), "fleet merge: cannot open " + tmp);
+        out << campaign_schema_header_line() << "\n";
+        for (const campaign_unit& u : units) {
+            auto it = covered.find(u.key());
+            if (it != covered.end()) out << it->second << "\n";
+        }
+        for (const auto& [key, line] : foreign) out << line << "\n";
+        out.flush();
+        require(static_cast<bool>(out), "fleet merge: write failed for " + tmp);
+    }
+    require(std::rename(tmp.c_str(), spec.output.c_str()) == 0,
+            "fleet merge: cannot replace " + spec.output);
+    return report;
+}
+
+}  // namespace anole

@@ -12,8 +12,9 @@
 // identical to cold computes, test-enforced). Corrupt lines, unknown
 // fields' types and entries from a different profiler version are
 // silently skipped at load: the entry is simply recomputed and the file
-// re-appended, so a stale cache can never poison results. Later lines win
-// over earlier ones (append-only upsert, same rule campaign resume uses).
+// re-written, so a stale cache can never poison results. Later lines win
+// over earlier ones on load (the rule campaign resume uses too), which
+// keeps append-only files from older builds readable.
 //
 // scenario_runner layers this *under* its in-memory map (see
 // set_profile_cache): lookup order is memory → disk → compute-and-store.
@@ -40,9 +41,15 @@ public:
 
     [[nodiscard]] std::optional<graph_profile> lookup(const std::string& key) const;
 
-    // Upserts in memory and appends one line to the file. Thread-safe;
-    // write failures throw anole::error (a cache that silently drops
-    // writes would defeat the second-run-is-free contract).
+    // Upserts in memory and on disk. Thread-safe AND cross-process safe
+    // (fleet workers share one cache file): the writer takes a sibling
+    // ".lock" file (create-exclusive; stale locks from crashed writers
+    // are broken after ~30 s), re-reads the file under the lock to merge
+    // entries other processes added, rewrites everything to a ".tmp"
+    // sibling and atomically renames it over the cache — readers never
+    // observe a torn line. Write failures throw anole::error (a cache
+    // that silently drops writes would defeat the second-run-is-free
+    // contract).
     void store(const std::string& key, const graph_profile& p);
 
     [[nodiscard]] std::size_t size() const;

@@ -1,0 +1,57 @@
+// anole — self-contained HTML campaign report.
+//
+// `bench_campaign --report out.html` renders one ledger into a single
+// HTML file with ZERO external references — no scripts, no fonts, no
+// fetches; inline SVG and CSS only — so it can be archived as a CI
+// artifact, attached to a mail, or opened from a USB stick years later
+// and still render. Sections:
+//
+//   * stat tiles: units recorded / ok / single-leader / oracle-clean;
+//   * per-family small multiples: mean message and round complexity vs n
+//     (log-log), one colored series per algorithm variant (fixed slot
+//     order — identity, never rank), dashed per dynamics model, with
+//     native <title> tooltips on every marker;
+//   * the full aggregate table (the same grouping campaign_table
+//     prints) — the accessible fallback for every chart above it;
+//   * a safety section listing oracle violations and failed units;
+//   * a topology gallery: one force-directed thumbnail per family at the
+//     largest recorded size, laid out by graph/layout.h (Barnes–Hut, so
+//     n = 10⁵ thumbnails are fine) on the campaign's own topology seed.
+//
+// Light and dark mode are both first-class: colors are CSS custom
+// properties with a prefers-color-scheme override, and the SVG marks
+// reference them by class.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/campaign.h"
+
+namespace anole {
+
+struct report_options {
+    std::string title = "anole campaign report";
+    // When nonzero, the coverage tile shows recorded/expected (the merge
+    // path knows the expansion size; a bare ledger does not).
+    std::size_t expected_units = 0;
+    // Topology gallery knobs. Thumbnails cost one graph build + layout
+    // per family; families whose largest instance exceeds the node cap
+    // are skipped (with a note) rather than stalling report generation.
+    bool thumbnails = true;
+    std::size_t max_thumb_nodes = 150000;
+    std::size_t thumb_edge_cap = 4000;
+    // Worker threads for thumbnail layout; 0 = hardware concurrency.
+    std::size_t jobs = 0;
+};
+
+// The full HTML document.
+[[nodiscard]] std::string render_campaign_report(
+    const std::vector<campaign_record>& records, const report_options& opt = {});
+
+// Renders and writes to `path` (throws anole::error on I/O failure).
+void write_campaign_report(const std::string& path,
+                           const std::vector<campaign_record>& records,
+                           const report_options& opt = {});
+
+}  // namespace anole

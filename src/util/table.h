@@ -28,6 +28,12 @@ public:
     }
 
     [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+    [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+        return headers_;
+    }
+    [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const noexcept {
+        return rows_;
+    }
 
     // Aligned, boxed with '-' rules; right-aligns cells that parse as numbers.
     void print(std::ostream& os) const;

@@ -1,0 +1,209 @@
+// Tests for graph/layout.h: quadtree mass/centroid bookkeeping, the
+// Barnes–Hut approximation against the exact pairwise sum, closed-form
+// force sanity, bitwise determinism across thread-pool sizes, and the
+// SVG renderer's caps.
+#include "graph/layout.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "sim/thread_pool.h"
+
+namespace anole {
+namespace {
+
+TEST(BhQuadtree, MassAndCentroidMatchTheBodySet) {
+    const std::vector<layout_point> pts = {
+        {0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}, {0.25, 0.75}};
+    bh_quadtree tree;
+    tree.build(pts);
+    EXPECT_DOUBLE_EQ(tree.total_mass(), 5.0);
+    double sx = 0, sy = 0;
+    for (const layout_point& p : pts) {
+        sx += p.x;
+        sy += p.y;
+    }
+    const layout_point c = tree.centroid();
+    EXPECT_DOUBLE_EQ(c.x, sx / 5);
+    EXPECT_DOUBLE_EQ(c.y, sy / 5);
+    EXPECT_GE(tree.cell_count(), 1u);
+
+    bh_quadtree empty;
+    empty.build({});
+    EXPECT_DOUBLE_EQ(empty.total_mass(), 0.0);
+}
+
+TEST(BhQuadtree, CoincidentPointsFoldIntoAggregateLeaves) {
+    // 64 bodies at one coordinate would recurse forever without the
+    // depth cap; with it they fold into an aggregate leaf.
+    std::vector<layout_point> pts(64, layout_point{0.5, 0.5});
+    pts.push_back({0.9, 0.9});
+    bh_quadtree tree;
+    tree.build(pts);
+    EXPECT_DOUBLE_EQ(tree.total_mass(), 65.0);
+
+    // The probe body inside the pile is excluded from its own force: the
+    // 63 coincident companions contribute zero net direction (they sit
+    // exactly at the probe), so the only pull is from the far body.
+    const layout_point f = tree.repulsion(pts[0], 0, 1.0, 0.0);
+    EXPECT_LT(f.x, 0.0);  // pushed away from (0.9, 0.9)
+    EXPECT_LT(f.y, 0.0);
+}
+
+TEST(BhQuadtree, ThetaZeroMatchesBruteForcePairwiseSum) {
+    // theta = 0 opens every cell: the traversal must reproduce the exact
+    // O(V²) sum. Then theta = 0.85 must stay within a few percent.
+    const graph g = make_family(graph_family::watts_strogatz, 200, 7);
+    layout_options opt;
+    opt.iterations = 3;  // partially-settled, irregular positions
+    const std::vector<layout_point> pts = force_layout(g, opt);
+
+    bh_quadtree tree;
+    tree.build(pts);
+    const double k = std::sqrt(1.0 / static_cast<double>(pts.size()));
+    for (const std::size_t probe : {std::size_t{0}, std::size_t{57}, std::size_t{199}}) {
+        layout_point exact{0, 0};
+        for (std::size_t j = 0; j < pts.size(); ++j) {
+            if (j == probe) continue;
+            const double dx = pts[probe].x - pts[j].x;
+            const double dy = pts[probe].y - pts[j].y;
+            const double d2 = std::max(dx * dx + dy * dy, 1e-12);
+            exact.x += dx * k * k / d2;
+            exact.y += dy * k * k / d2;
+        }
+        const layout_point bh0 = tree.repulsion(pts[probe], probe, k, 0.0);
+        EXPECT_NEAR(bh0.x, exact.x, 1e-9) << probe;
+        EXPECT_NEAR(bh0.y, exact.y, 1e-9) << probe;
+
+        const layout_point bh = tree.repulsion(pts[probe], probe, k, 0.85);
+        const double mag = std::hypot(exact.x, exact.y);
+        EXPECT_NEAR(bh.x, exact.x, 0.08 * mag + 1e-12) << probe;
+        EXPECT_NEAR(bh.y, exact.y, 0.08 * mag + 1e-12) << probe;
+    }
+}
+
+TEST(BhQuadtree, SymmetricSquareHasZeroNetForceAtCenter) {
+    const std::vector<layout_point> pts = {
+        {0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}, {0.5, 0.5}};
+    bh_quadtree tree;
+    tree.build(pts);
+    const layout_point f = tree.repulsion(pts[4], 4, 1.0, 0.0);
+    EXPECT_NEAR(f.x, 0.0, 1e-12);
+    EXPECT_NEAR(f.y, 0.0, 1e-12);
+}
+
+TEST(BhQuadtree, FarClusterActsAsItsPointMass) {
+    // A tight far-away cluster under a coarse theta must contribute like
+    // m bodies at its center of mass: F = k²·m/d along the axis.
+    std::vector<layout_point> pts;
+    constexpr std::size_t m = 16;
+    for (std::size_t i = 0; i < m; ++i) {
+        pts.push_back({10.0 + 1e-6 * static_cast<double>(i), 10.0});
+    }
+    bh_quadtree tree;
+    tree.build(pts);
+    const layout_point probe{0.0, 10.0};
+    const double k = 0.3;
+    const layout_point f = tree.repulsion(probe, bh_quadtree::npos, k, 0.85);
+    const double d = 10.0 + 1e-6 * (m - 1) / 2.0;  // distance to the COM
+    EXPECT_NEAR(f.x, -k * k * m / d, 1e-6);
+    EXPECT_NEAR(f.y, 0.0, 1e-9);
+}
+
+TEST(ForceLayout, SeedStableAndBitwiseIdenticalAcrossPoolSizes) {
+    const graph g = make_family(graph_family::connected_caveman, 3000, 3);
+
+    layout_options serial;
+    serial.seed = 11;
+    const std::vector<layout_point> base = force_layout(g, serial);
+    ASSERT_EQ(base.size(), g.num_nodes());
+    for (const layout_point& p : base) {
+        EXPECT_GE(p.x, 0.0);
+        EXPECT_LE(p.x, 1.0);
+        EXPECT_GE(p.y, 0.0);
+        EXPECT_LE(p.y, 1.0);
+    }
+
+    // 3000 nodes span two 2048-blocks, so pools actually shard the pass.
+    for (const std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+        thread_pool pool(workers);
+        layout_options sharded;
+        sharded.seed = 11;
+        sharded.pool = &pool;
+        const std::vector<layout_point> pts = force_layout(g, sharded);
+        ASSERT_EQ(pts.size(), base.size());
+        for (std::size_t u = 0; u < pts.size(); ++u) {
+            EXPECT_EQ(pts[u].x, base[u].x) << "workers=" << workers << " u=" << u;
+            EXPECT_EQ(pts[u].y, base[u].y) << "workers=" << workers << " u=" << u;
+        }
+    }
+
+    // A different seed is a different embedding.
+    layout_options other;
+    other.seed = 12;
+    const std::vector<layout_point> alt = force_layout(g, other);
+    std::size_t moved = 0;
+    for (std::size_t u = 0; u < alt.size(); ++u) {
+        if (alt[u].x != base[u].x || alt[u].y != base[u].y) ++moved;
+    }
+    EXPECT_GT(moved, alt.size() / 2);
+}
+
+TEST(ForceLayout, TinyGraphsAreWellDefined) {
+    const graph one(1, {});
+    const auto p1 = force_layout(one);
+    ASSERT_EQ(p1.size(), 1u);
+    EXPECT_DOUBLE_EQ(p1[0].x, 0.5);
+    EXPECT_DOUBLE_EQ(p1[0].y, 0.5);
+
+    const graph pair(2, {{0, 1}});
+    const auto p2 = force_layout(pair);
+    ASSERT_EQ(p2.size(), 2u);
+    EXPECT_NE(std::pair(p2[0].x, p2[0].y), std::pair(p2[1].x, p2[1].y));
+}
+
+TEST(LayoutSvg, EmitsSelfContainedMarkupAndHonorsCaps) {
+    const graph g = make_family(graph_family::wheel, 64, 1);
+    const std::vector<layout_point> pts = force_layout(g);
+    const std::string svg = layout_svg(g, pts);
+
+    EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+    EXPECT_NE(svg.find("</svg>"), std::string::npos);
+    EXPECT_NE(svg.find("class=\"ge\""), std::string::npos);
+    EXPECT_NE(svg.find("class=\"gn\""), std::string::npos);
+    // The only URL-ish string is the xmlns namespace identifier.
+    std::size_t at = svg.find("http://");
+    while (at != std::string::npos) {
+        EXPECT_EQ(svg.compare(at, 26, "http://www.w3.org/2000/svg"), 0);
+        at = svg.find("http://", at + 1);
+    }
+    EXPECT_EQ(svg.find("<script"), std::string::npos);
+
+    // Caps: a tiny edge budget stride-samples rather than dropping the
+    // drawing or blowing it up.
+    layout_svg_options capped;
+    capped.max_edges = 10;
+    capped.max_nodes = 8;
+    const std::string small = layout_svg(g, pts, capped);
+    std::size_t lines = 0, circles = 0;
+    for (std::size_t at = small.find("<line"); at != std::string::npos;
+         at = small.find("<line", at + 1)) {
+        ++lines;
+    }
+    for (std::size_t at = small.find("<circle"); at != std::string::npos;
+         at = small.find("<circle", at + 1)) {
+        ++circles;
+    }
+    EXPECT_LE(lines, 2u * 10u);  // stride rounding, never the full edge set
+    EXPECT_LE(circles, 2u * 8u);
+    EXPECT_GT(lines, 0u);
+    EXPECT_GT(circles, 0u);
+
+    // Mismatched spans are a programming error.
+    EXPECT_THROW((void)layout_svg(g, std::vector<layout_point>(3)), error);
+}
+
+}  // namespace
+}  // namespace anole

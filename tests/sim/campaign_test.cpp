@@ -165,11 +165,11 @@ TEST(Campaign, ResumeAfterPartialFileRunsOnlyMissingUnits) {
         std::string line;
         while (std::getline(in, line)) lines.push_back(line);
     }
-    ASSERT_EQ(lines.size(), 12u);
+    ASSERT_EQ(lines.size(), 13u);  // schema header + 12 records
     {
         std::ofstream out(path, std::ios::trunc);
-        for (std::size_t i = 0; i < 5; ++i) out << lines[i] << "\n";
-        out << lines[5].substr(0, lines[5].size() / 2);  // torn mid-write
+        for (std::size_t i = 0; i < 6; ++i) out << lines[i] << "\n";
+        out << lines[6].substr(0, lines[6].size() / 2);  // torn mid-write
     }
 
     scenario_runner second(2);
@@ -314,17 +314,20 @@ TEST(Campaign, PreOracleLedgerLinesStillResume) {
     scenario_runner first(2);
     ASSERT_EQ(run_campaign(tiny_spec(path), first).executed, 12u);
 
-    // Rewrite the ledger with the oracle fields stripped, old-schema style.
+    // Rewrite the ledger with the oracle fields stripped AND the schema
+    // header dropped, old-schema style (headerless legacy files must
+    // keep resuming).
     std::vector<std::string> lines;
     {
         std::ifstream in(path);
         std::string line;
         while (std::getline(in, line)) lines.push_back(line);
     }
-    ASSERT_EQ(lines.size(), 12u);
+    ASSERT_EQ(lines.size(), 13u);  // schema header + 12 records
     {
         std::ofstream out(path, std::ios::trunc);
         for (auto& l : lines) {
+            if (parse_campaign_schema_header(l).has_value()) continue;
             const auto pos = l.find(",\"oracle_ok\":");
             ASSERT_NE(pos, std::string::npos);
             const auto end = l.find(',', pos + 1);
@@ -370,6 +373,52 @@ TEST(Campaign, AdaptiveDynamicsAxisResumesFromLedger) {
     const campaign_report run2 = run_campaign(spec, second);
     EXPECT_EQ(run2.executed, 0u);
     EXPECT_EQ(run2.skipped, 6u);
+    std::remove(path.c_str());
+}
+
+TEST(Campaign, LedgerStampsSchemaHeader) {
+    const std::string path = temp_path("schema_header");
+    std::remove(path.c_str());
+
+    scenario_runner runner(2);
+    ASSERT_EQ(run_campaign(tiny_spec(path), runner).executed, 12u);
+
+    std::ifstream in(path);
+    std::string first_line;
+    ASSERT_TRUE(std::getline(in, first_line));
+    EXPECT_EQ(first_line, campaign_schema_header_line());
+    const auto version = parse_campaign_schema_header(first_line);
+    ASSERT_TRUE(version.has_value());
+    EXPECT_EQ(*version, campaign_schema_version);
+    // Record lines are never mistaken for headers.
+    std::string second_line;
+    ASSERT_TRUE(std::getline(in, second_line));
+    EXPECT_FALSE(parse_campaign_schema_header(second_line).has_value());
+
+    // load_campaign_ledger skips the header and returns only records.
+    EXPECT_EQ(load_campaign_ledger(path).size(), 12u);
+    std::remove(path.c_str());
+}
+
+TEST(Campaign, IncompatibleSchemaVersionRejected) {
+    const std::string path = temp_path("schema_reject");
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "{\"schema\":\"anole-campaign\",\"version\":99}\n";
+    }
+    EXPECT_THROW(check_campaign_ledger_schema(path), error);
+    EXPECT_THROW((void)load_campaign_ledger(path), error);
+    scenario_runner runner(2);
+    EXPECT_THROW((void)run_campaign(tiny_spec(path), runner), error);
+    std::remove(path.c_str());
+
+    // Missing and headerless files pass the check.
+    EXPECT_NO_THROW(check_campaign_ledger_schema(path));
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "{\"key\":\"not-a-header\"}\n";
+    }
+    EXPECT_NO_THROW(check_campaign_ledger_schema(path));
     std::remove(path.c_str());
 }
 

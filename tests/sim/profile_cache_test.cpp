@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "graph/generators.h"
 #include "sim/runner.h"
@@ -109,6 +111,91 @@ TEST(ProfileCache, MissingFileIsEmptyAndUnwritablePathThrows) {
 
     profile_cache bad("/nonexistent_dir_anole/cache.jsonl");
     EXPECT_THROW(bad.store("k", profile(make_cycle(16))), error);
+}
+
+TEST(ProfileCache, StoreRewritesAtomicallyAndHealsCorruptTail) {
+    // The pre-fleet append path could leave a torn tail if a writer died
+    // mid-line; the rewrite path must both survive loading such a file
+    // and produce a clean file on the next store.
+    const std::string path = temp_path("heal");
+    std::remove(path.c_str());
+
+    const graph_profile good = profile(make_cycle(16));
+    {
+        profile_cache cache(path);
+        cache.store("good", good);
+    }
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "{\"key\":\"torn\",\"version\":1,\"prof";  // SIGKILL mid-write
+    }
+    profile_cache healed(path);
+    EXPECT_EQ(healed.size(), 1u);
+    const graph_profile other = profile(make_cycle(24));
+    healed.store("other", other);
+
+    // Every line of the rewritten file parses; the torn tail is gone.
+    std::ifstream in(path);
+    std::string line;
+    std::size_t parsed = 0;
+    while (std::getline(in, line)) {
+        EXPECT_FALSE(line.empty());
+        EXPECT_EQ(line.back(), '}');
+        ++parsed;
+    }
+    EXPECT_EQ(parsed, 2u);
+    // And no lock or temp file is left behind.
+    EXPECT_FALSE(std::ifstream(path + ".lock").good());
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+    profile_cache reloaded(path);
+    EXPECT_EQ(reloaded.size(), 2u);
+    EXPECT_TRUE(reloaded.lookup("good").has_value());
+    EXPECT_TRUE(reloaded.lookup("other").has_value());
+    std::remove(path.c_str());
+}
+
+TEST(ProfileCache, ConcurrentWritersPreserveAllEntries) {
+    // N separate cache instances (separate-process stand-ins) hammer one
+    // file; the lock + rewrite protocol must keep every entry.
+    const std::string path = temp_path("concurrent");
+    std::remove(path.c_str());
+
+    constexpr std::size_t kWriters = 6;
+    constexpr std::size_t kPerWriter = 4;
+    std::vector<graph_profile> profiles;
+    for (std::size_t i = 0; i < kPerWriter; ++i) {
+        profiles.push_back(profile(make_cycle(12 + 4 * i)));
+    }
+
+    const auto entry_key = [](std::size_t w, std::size_t i) {
+        std::string k = "w";
+        k += std::to_string(w);
+        k += "/k";
+        k += std::to_string(i);
+        return k;
+    };
+    std::vector<std::thread> writers;
+    for (std::size_t w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            profile_cache cache(path);  // each thread its own instance
+            for (std::size_t i = 0; i < kPerWriter; ++i) {
+                cache.store(entry_key(w, i), profiles[i]);
+            }
+        });
+    }
+    for (auto& t : writers) t.join();
+
+    profile_cache merged(path);
+    EXPECT_EQ(merged.size(), kWriters * kPerWriter);
+    for (std::size_t w = 0; w < kWriters; ++w) {
+        for (std::size_t i = 0; i < kPerWriter; ++i) {
+            const auto hit = merged.lookup(entry_key(w, i));
+            ASSERT_TRUE(hit.has_value()) << w << "/" << i;
+            EXPECT_TRUE(bitwise_equal(*hit, profiles[i]));
+        }
+    }
+    std::remove(path.c_str());
 }
 
 TEST(ProfileCacheRunner, SecondRunnerComputesNothing) {

@@ -1,0 +1,127 @@
+// Tests for sim/report.h: the HTML report is self-contained (no external
+// references), carries every section the ledger feeds it, themes for
+// light+dark, and surfaces safety violations.
+#include "sim/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/runner.h"
+
+namespace anole {
+namespace {
+
+std::vector<campaign_record> run_tiny_campaign() {
+    campaign_spec spec;
+    spec.families = {graph_family::wheel, graph_family::connected_caveman};
+    spec.sizes = {16, 24};
+    spec.variants = {algo_kind::flood_max, algo_kind::irrevocable};
+    spec.seeds = 2;
+    spec.base_seed = 10;
+    scenario_runner runner(2);
+    return run_campaign(spec, runner).records;
+}
+
+TEST(Report, RendersEverySectionSelfContained) {
+    const std::vector<campaign_record> records = run_tiny_campaign();
+    ASSERT_EQ(records.size(), 16u);
+
+    report_options opt;
+    opt.title = "fleet nightly";
+    opt.expected_units = 16;
+    const std::string html = render_campaign_report(records, opt);
+
+    // Document shell and the declared sections.
+    EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+    EXPECT_NE(html.find("<title>fleet nightly</title>"), std::string::npos);
+    EXPECT_NE(html.find("units recorded"), std::string::npos);
+    EXPECT_NE(html.find("16 / 16"), std::string::npos);  // expected_units tile
+    EXPECT_NE(html.find("mean messages vs n"), std::string::npos);
+    EXPECT_NE(html.find("mean rounds vs n"), std::string::npos);
+    EXPECT_NE(html.find("aggregate table"), std::string::npos);
+    EXPECT_NE(html.find("topology gallery"), std::string::npos);
+    EXPECT_NE(html.find("<svg"), std::string::npos);
+    EXPECT_NE(html.find("<table>"), std::string::npos);
+
+    // Family and variant names appear (charts, table, gallery captions).
+    EXPECT_NE(html.find("wheel"), std::string::npos);
+    EXPECT_NE(html.find("connected_caveman"), std::string::npos);
+    EXPECT_NE(html.find("flood_max"), std::string::npos);
+    EXPECT_NE(html.find("irrevocable"), std::string::npos);
+
+    // Two variants → a legend is mandatory; markers carry native
+    // tooltips; dark mode is a first-class stylesheet block.
+    EXPECT_NE(html.find("class=\"legend\""), std::string::npos);
+    EXPECT_NE(html.find("<title>flood_max"), std::string::npos);
+    EXPECT_NE(html.find("prefers-color-scheme: dark"), std::string::npos);
+
+    // Self-contained: no scripts, no external fetches. The only URL-like
+    // string allowed is the SVG xmlns namespace identifier.
+    EXPECT_EQ(html.find("<script"), std::string::npos);
+    EXPECT_EQ(html.find("https://"), std::string::npos);
+    EXPECT_EQ(html.find("<link"), std::string::npos);
+    EXPECT_EQ(html.find("@import"), std::string::npos);
+    EXPECT_EQ(html.find("url("), std::string::npos);
+    std::size_t at = html.find("http://");
+    while (at != std::string::npos) {
+        EXPECT_EQ(html.compare(at, 27, "http://www.w3.org/2000/svg\""), 0)
+            << "unexpected URL at offset " << at;
+        at = html.find("http://", at + 1);
+    }
+
+    // Clean campaign: the safety section reports green, never red.
+    EXPECT_NE(html.find("status-good"), std::string::npos);
+    EXPECT_EQ(html.find("oracle violation"), std::string::npos);
+}
+
+TEST(Report, SurfacesViolationsAndFailures) {
+    std::vector<campaign_record> records = run_tiny_campaign();
+    records[0].oracle_ok = false;
+    records[0].oracle_summary = "VIOLATION multi_leader: 2 leaders";
+    records[1].ok = false;
+    records[1].error = "engine exploded <dramatically>";
+
+    report_options opt;
+    opt.thumbnails = false;  // violation path needs no gallery
+    const std::string html = render_campaign_report(records, opt);
+    EXPECT_NE(html.find("1 oracle violation(s)"), std::string::npos);
+    EXPECT_NE(html.find(records[0].unit.key()), std::string::npos);
+    EXPECT_NE(html.find("VIOLATION multi_leader: 2 leaders"), std::string::npos);
+    EXPECT_NE(html.find("1 failed unit(s)"), std::string::npos);
+    // HTML-escaped, not injected.
+    EXPECT_NE(html.find("engine exploded &lt;dramatically&gt;"), std::string::npos);
+    EXPECT_EQ(html.find("<dramatically>"), std::string::npos);
+    EXPECT_EQ(html.find("topology gallery"), std::string::npos);
+}
+
+TEST(Report, EmptyLedgerStillRendersADocument) {
+    const std::string html = render_campaign_report({});
+    EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+    EXPECT_NE(html.find("0"), std::string::npos);
+    EXPECT_EQ(html.find("<svg"), std::string::npos);  // nothing to chart
+}
+
+TEST(Report, WritesFileAndThrowsOnBadPath) {
+    const std::string path = ::testing::TempDir() + "anole_report_test.html";
+    std::remove(path.c_str());
+    const std::vector<campaign_record> records = run_tiny_campaign();
+    report_options opt;
+    opt.thumbnails = false;
+    write_campaign_report(path, records, opt);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), render_campaign_report(records, opt));
+    std::remove(path.c_str());
+
+    EXPECT_THROW(
+        write_campaign_report("/nonexistent_dir_anole/report.html", records, opt),
+        error);
+}
+
+}  // namespace
+}  // namespace anole
